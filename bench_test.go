@@ -1,0 +1,233 @@
+// Top-level benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (§5), plus the ablations from DESIGN.md. Wall-clock
+// ns/op measures the simulator; the *paper-relevant* results are the
+// custom metrics, reported in virtual microseconds (vus) and paper
+// megabytes per second (MB/s, 1 MB = 2^20 B):
+//
+//	go test -bench=. -benchmem
+//
+// The regenerated rows/series themselves come from:
+//
+//	go run ./cmd/experiments -exp all
+package mpichmad_test
+
+import (
+	"testing"
+
+	"mpichmad/internal/baselines"
+	"mpichmad/internal/cluster"
+	"mpichmad/internal/experiments"
+	"mpichmad/internal/mpptest"
+	"mpichmad/internal/netsim"
+	"mpichmad/internal/stats"
+)
+
+// BenchmarkTable1RawMadeleine regenerates Table 1: raw Madeleine latency
+// (4 B) and bandwidth (8 MB) per protocol.
+func BenchmarkTable1RawMadeleine(b *testing.B) {
+	for _, params := range []netsim.Params{
+		netsim.FastEthernetTCP(), netsim.SCISISCI(), netsim.MyrinetBIP(),
+	} {
+		params := params
+		b.Run(params.Protocol, func(b *testing.B) {
+			var lat, bw float64
+			for i := 0; i < b.N; i++ {
+				l, err := mpptest.RawMadeleine("raw", params, []int{4}, mpptest.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w, err := mpptest.RawMadeleine("raw", params, []int{8 * netsim.MB}, mpptest.Config{Iters: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = l.Points[0].LatencyUS()
+				bw = w.Points[0].BandwidthMBs()
+			}
+			b.ReportMetric(lat, "vus/4B")
+			b.ReportMetric(bw, "MB/s@8MB")
+		})
+	}
+}
+
+// figBench runs one figure experiment and reports its headline metrics:
+// the small-message latency of each series and the 1 MB bandwidth.
+func figBench(b *testing.B, gen func(byte) (*experiments.Result, error)) {
+	b.Helper()
+	var latA, bw1M map[string]float64
+	for i := 0; i < b.N; i++ {
+		ra, err := gen('a')
+		if err != nil {
+			b.Fatal(err)
+		}
+		rb, err := gen('b')
+		if err != nil {
+			b.Fatal(err)
+		}
+		latA = map[string]float64{}
+		bw1M = map[string]float64{}
+		for _, s := range ra.Series {
+			if p, ok := s.At(4); ok {
+				latA[s.Name] = p.LatencyUS()
+			}
+		}
+		for _, s := range rb.Series {
+			if p, ok := s.At(1 << 20); ok {
+				bw1M[s.Name] = p.BandwidthMBs()
+			}
+		}
+	}
+	for name, v := range latA {
+		b.ReportMetric(v, "vus4B:"+sanitize(name))
+	}
+	for name, v := range bw1M {
+		b.ReportMetric(v, "MB/s1M:"+sanitize(name))
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case ' ', '/', '+':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig6TCP regenerates Figure 6 (ch_mad vs ch_p4 vs raw Madeleine
+// on TCP/Fast-Ethernet).
+func BenchmarkFig6TCP(b *testing.B) { figBench(b, experiments.Fig6) }
+
+// BenchmarkFig7SCI regenerates Figure 7 (ch_mad vs ScaMPI vs SCI-MPICH vs
+// raw Madeleine on SISCI/SCI).
+func BenchmarkFig7SCI(b *testing.B) { figBench(b, experiments.Fig7) }
+
+// BenchmarkFig8BIP regenerates Figure 8 (ch_mad vs MPI-GM vs MPICH-PM vs
+// raw Madeleine on BIP/Myrinet).
+func BenchmarkFig8BIP(b *testing.B) { figBench(b, experiments.Fig8) }
+
+// BenchmarkFig9MultiProtocol regenerates Figure 9 (SCI alone vs SCI with
+// an additional idle TCP polling thread) and reports the latency gap.
+func BenchmarkFig9MultiProtocol(b *testing.B) {
+	var aloneLat, bothLat, aloneBW, bothBW float64
+	for i := 0; i < b.N; i++ {
+		ra, err := experiments.Fig9('a')
+		if err != nil {
+			b.Fatal(err)
+		}
+		rb, err := experiments.Fig9('b')
+		if err != nil {
+			b.Fatal(err)
+		}
+		pa, _ := ra.Series[0].At(4)
+		pb, _ := ra.Series[1].At(4)
+		aloneLat, bothLat = pa.LatencyUS(), pb.LatencyUS()
+		qa, _ := rb.Series[0].At(1 << 20)
+		qb, _ := rb.Series[1].At(1 << 20)
+		aloneBW, bothBW = qa.BandwidthMBs(), qb.BandwidthMBs()
+	}
+	b.ReportMetric(aloneLat, "vus4B:SCI_only")
+	b.ReportMetric(bothLat, "vus4B:SCI+TCP")
+	b.ReportMetric(bothLat-aloneLat, "vus4B:gap")
+	b.ReportMetric(aloneBW, "MB/s1M:SCI_only")
+	b.ReportMetric(bothBW, "MB/s1M:SCI+TCP")
+}
+
+// BenchmarkTable2Summary regenerates Table 2: ch_mad 0 B / 4 B latency and
+// 8 MB bandwidth per network.
+func BenchmarkTable2Summary(b *testing.B) {
+	for _, proto := range []string{"tcp", "sisci", "bip"} {
+		proto := proto
+		b.Run(proto, func(b *testing.B) {
+			var l0, l4, bw float64
+			for i := 0; i < b.N; i++ {
+				s, err := mpptest.MPIPingPong("ch_mad", cluster.TwoNodes(proto),
+					[]int{0, 4, 8 * netsim.MB}, mpptest.Config{Iters: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p0, _ := s.At(0)
+				p4, _ := s.At(4)
+				p8, _ := s.At(8 * netsim.MB)
+				l0, l4, bw = p0.LatencyUS(), p4.LatencyUS(), p8.BandwidthMBs()
+			}
+			b.ReportMetric(l0, "vus/0B")
+			b.ReportMetric(l4, "vus/4B")
+			b.ReportMetric(bw, "MB/s@8MB")
+		})
+	}
+}
+
+// BenchmarkAblationSwitchPoint regenerates ablation X1: the effect of the
+// single elected eager->rendez-vous threshold on the SCI+TCP config.
+func BenchmarkAblationSwitchPoint(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSwitchPoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, s := range res.Series {
+		if p, ok := s.At(16 << 10); ok {
+			b.ReportMetric(p.BandwidthMBs(), "MB/s16K:"+sanitize(s.Name))
+		}
+	}
+}
+
+// BenchmarkAblationHeaderSplit regenerates ablation X2: the §4.2.2
+// header/body split versus the monolithic padded eager buffer.
+func BenchmarkAblationHeaderSplit(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationHeaderSplit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, s := range res.Series {
+		if p, ok := s.At(1 << 10); ok {
+			b.ReportMetric(p.LatencyUS(), "vus1K:"+sanitize(s.Name))
+		}
+	}
+}
+
+// BenchmarkForwarding regenerates extension X3: gateway store-and-forward
+// across heterogeneous networks versus a direct link.
+func BenchmarkForwarding(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Forwarding()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, s := range res.Series {
+		if p, ok := s.At(4); ok {
+			b.ReportMetric(p.LatencyUS(), "vus4B:"+sanitize(s.Name))
+		}
+		if p, ok := s.At(1 << 20); ok {
+			b.ReportMetric(p.BandwidthMBs(), "MB/s1M:"+sanitize(s.Name))
+		}
+	}
+}
+
+// BenchmarkBaselineModels exercises the reference-model evaluation (cheap,
+// but keeps the comparator curves regenerable from the bench harness too).
+func BenchmarkBaselineModels(b *testing.B) {
+	sizes := stats.Sizes1B1MB()
+	models := []*baselines.ReferenceModel{
+		baselines.ScaMPI(), baselines.SCIMPICH(), baselines.MPIGM(), baselines.MPICHPM(),
+	}
+	for i := 0; i < b.N; i++ {
+		for _, m := range models {
+			m.Series(sizes)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulated reproduction. Each experiment prints the same rows/series the
+// paper reports (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp table1,fig7b -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpichmad/internal/experiments"
+	"mpichmad/internal/stats"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids: table1, fig6a, fig6b, fig7a, fig7b, fig8a, fig8b, fig9a, fig9b, table2, ablation-switch, ablation-split, forwarding, or 'all'")
+	csv := flag.Bool("csv", false, "emit CSV for plotting instead of aligned tables")
+	flag.Parse()
+
+	var results []*experiments.Result
+	if *exp == "all" {
+		rs, err := experiments.All()
+		if err != nil {
+			fatal(err)
+		}
+		results = rs
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			r, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, r)
+		}
+	}
+	for _, r := range results {
+		if *csv && len(r.Series) > 0 {
+			fmt.Printf("# %s (%s)\n", r.Title, r.ID)
+			if strings.HasSuffix(r.ID, "a") {
+				fmt.Print(stats.CSV(r.Series, stats.Point.LatencyUS))
+			} else {
+				fmt.Print(stats.CSV(r.Series, stats.Point.BandwidthMBs))
+			}
+		} else {
+			fmt.Println(r.Text)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,226 @@
+// Package adi reimplements MPICH's Abstract Device Interface (§2.2 of the
+// paper): the request objects, message envelopes and matching queues that
+// the generic MPI layer drives, plus the Device abstraction that network
+// modules (ch_mad, ch_self, smp_plug, ch_p4) plug into, and the low-level
+// "channel interface" (§2.2.1) with its generic short/eager/rendez-vous
+// protocol engine.
+package adi
+
+import (
+	"fmt"
+
+	"mpichmad/internal/marcel"
+	"mpichmad/internal/vtime"
+)
+
+// Wildcards for receive matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Envelope is the control information carried with every message
+// (MPID_PKT_HEAD_T in MPICH terms).
+type Envelope struct {
+	Src     int // world rank of the sender
+	Tag     int
+	Context int // communicator context id
+	Len     int // payload bytes
+}
+
+func (e Envelope) String() string {
+	return fmt.Sprintf("{src=%d tag=%d ctx=%d len=%d}", e.Src, e.Tag, e.Context, e.Len)
+}
+
+// Status reports the outcome of a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Len    int
+}
+
+// SendReq is an in-flight send (MPIR_SHANDLE). Done fires at local
+// completion: the buffer is reusable and MPI_Send/Wait may return.
+type SendReq struct {
+	Env  Envelope
+	Dst  int // destination world rank
+	Data []byte
+	// Sync requests synchronous-mode semantics (MPI_Ssend): completion
+	// only after the receiver has matched the message. Devices realize
+	// it by forcing the rendez-vous transfer mode.
+	Sync bool
+	Done *vtime.Event
+	Err  error
+}
+
+// RecvReq is an in-flight receive (MPIR_RHANDLE / rhandle). Done fires
+// when the payload is in Buf and Status is filled.
+type RecvReq struct {
+	Src, Tag, Context int // Src/Tag may be wildcards
+	Buf               []byte
+	Status            Status
+	Done              *vtime.Event
+	Err               error
+}
+
+// matches reports whether an incoming envelope satisfies this receive.
+func (r *RecvReq) matches(env Envelope) bool {
+	return r.Context == env.Context &&
+		(r.Src == AnySource || r.Src == env.Src) &&
+		(r.Tag == AnyTag || r.Tag == env.Tag)
+}
+
+// ErrTruncate is stored in RecvReq.Err when the incoming message is longer
+// than the posted buffer (MPI_ERR_TRUNCATE).
+var ErrTruncate = fmt.Errorf("adi: message truncated: buffer shorter than incoming data")
+
+// Device is a network module handling sends toward some set of
+// destinations. Receiving is device-internal: devices push incoming
+// messages into the process's Engine.
+//
+// Mirroring MPICH's MPID_Device limitation discussed in §4.2.2, a device
+// exposes exactly ONE eager->rendez-vous threshold even if it multiplexes
+// several networks; ch_mad's threshold election lives behind this method.
+type Device interface {
+	Name() string
+	// Send initiates sr; sr.Done fires at local completion. Called from
+	// the MPI (application) thread of the sending process.
+	Send(sr *SendReq)
+	// SwitchPoint returns the eager->rendez-vous threshold in bytes.
+	SwitchPoint() int
+	// Shutdown stops device threads. Called once at MPI_Finalize.
+	Shutdown()
+}
+
+// unexpected is a queued message that arrived before a matching receive
+// was posted. deliver completes a receive from the stashed message,
+// charging whatever copies the owning device's protocol implies.
+type unexpected struct {
+	env     Envelope
+	deliver func(*RecvReq)
+}
+
+// probeWaiter is a blocked MPI_Probe.
+type probeWaiter struct {
+	src, tag, ctx int
+	env           *Envelope
+	ev            *vtime.Event
+}
+
+func (w *probeWaiter) matches(env Envelope) bool {
+	return w.ctx == env.Context &&
+		(w.src == AnySource || w.src == env.Src) &&
+		(w.tag == AnyTag || w.tag == env.Tag)
+}
+
+// Engine holds the per-process matching state shared by every device of
+// that process: the posted-receive queue and the unexpected-message queue
+// (§2.2: "process the queues of pending messages").
+type Engine struct {
+	P    *marcel.Proc
+	Rank int
+
+	posted []*RecvReq
+	unexp  []*unexpected
+	probes []*probeWaiter
+
+	// Counters for tests and EXPERIMENTS.md diagnostics.
+	NPosted, NUnexpected, NMatched uint64
+}
+
+// NewEngine creates the matching engine for one process.
+func NewEngine(p *marcel.Proc, rank int) *Engine {
+	return &Engine{P: p, Rank: rank}
+}
+
+// PostRecv registers a receive request, first trying to satisfy it from
+// the unexpected queue. Called from the application thread.
+func (e *Engine) PostRecv(r *RecvReq) {
+	for i, u := range e.unexp {
+		if r.matches(u.env) {
+			e.unexp = append(e.unexp[:i], e.unexp[i+1:]...)
+			e.NMatched++
+			u.deliver(r)
+			return
+		}
+	}
+	e.NPosted++
+	e.posted = append(e.posted, r)
+}
+
+// MatchPosted finds and removes the first posted receive matching env.
+// Called by device polling threads at message arrival.
+func (e *Engine) MatchPosted(env Envelope) *RecvReq {
+	for i, r := range e.posted {
+		if r.matches(env) {
+			e.posted = append(e.posted[:i], e.posted[i+1:]...)
+			e.NMatched++
+			return r
+		}
+	}
+	return nil
+}
+
+// AddUnexpected queues an arrived-but-unmatched message and wakes any
+// matching probe.
+func (e *Engine) AddUnexpected(env Envelope, deliver func(*RecvReq)) {
+	e.NUnexpected++
+	e.unexp = append(e.unexp, &unexpected{env: env, deliver: deliver})
+	for i, w := range e.probes {
+		if w.matches(env) {
+			*w.env = env
+			e.probes = append(e.probes[:i], e.probes[i+1:]...)
+			w.ev.Fire()
+			return
+		}
+	}
+}
+
+// FindUnexpected returns the envelope of the first queued unexpected
+// message matching (src, tag, ctx) without removing it (MPI_Iprobe).
+func (e *Engine) FindUnexpected(src, tag, ctx int) (Envelope, bool) {
+	w := probeWaiter{src: src, tag: tag, ctx: ctx}
+	for _, u := range e.unexp {
+		if w.matches(u.env) {
+			return u.env, true
+		}
+	}
+	return Envelope{}, false
+}
+
+// WaitUnexpected blocks until a matching message is in the unexpected
+// queue (MPI_Probe). The caller must not have a matching posted receive,
+// or the message may bypass the unexpected queue entirely.
+func (e *Engine) WaitUnexpected(src, tag, ctx int) Envelope {
+	if env, ok := e.FindUnexpected(src, tag, ctx); ok {
+		return env
+	}
+	var env Envelope
+	w := &probeWaiter{src: src, tag: tag, ctx: ctx, env: &env,
+		ev: vtime.NewEvent(e.P.S, "probe")}
+	e.probes = append(e.probes, w)
+	w.ev.Wait()
+	return env
+}
+
+// QueueLens reports (posted, unexpected) queue lengths for tests.
+func (e *Engine) QueueLens() (int, int) { return len(e.posted), len(e.unexp) }
+
+// FinishRecv fills in status/error and fires completion; shared helper for
+// device delivery paths.
+func FinishRecv(r *RecvReq, env Envelope, err error) {
+	r.Status = Status{Source: env.Src, Tag: env.Tag, Len: env.Len}
+	if err != nil {
+		r.Err = err
+	}
+	r.Done.Fire()
+}
+
+// CheckLen validates the posted buffer length against the envelope,
+// returning ErrTruncate (and the clamped copy length) on overflow.
+func CheckLen(r *RecvReq, env Envelope) (int, error) {
+	if env.Len > len(r.Buf) {
+		return len(r.Buf), ErrTruncate
+	}
+	return env.Len, nil
+}

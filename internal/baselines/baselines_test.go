@@ -1,0 +1,71 @@
+package baselines
+
+import (
+	"testing"
+
+	"mpichmad/internal/netsim"
+	"mpichmad/internal/stats"
+)
+
+func bwAt(m *ReferenceModel, n int) float64 {
+	return float64(n) / m.OneWay(n).Seconds() / netsim.MB
+}
+
+func TestModelsMonotoneTime(t *testing.T) {
+	for _, m := range []*ReferenceModel{ScaMPI(), SCIMPICH(), MPIGM(), MPICHPM()} {
+		prev := m.OneWay(1)
+		for _, n := range stats.Sizes1B1MB()[1:] {
+			cur := m.OneWay(n)
+			if cur < prev {
+				t.Errorf("%s: time decreased between sizes (%v -> %v at %d)", m.Name, prev, cur, n)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPaperShapeSCI(t *testing.T) {
+	// Fig. 7: ScaMPI and SCI-MPICH plateau below ch_mad's 80+ MB/s.
+	if bw := bwAt(ScaMPI(), 1<<20); bw < 60 || bw > 75 {
+		t.Errorf("ScaMPI 1MB bw = %.1f, want ~70", bw)
+	}
+	if bw := bwAt(SCIMPICH(), 1<<20); bw < 65 || bw > 80 {
+		t.Errorf("SCI-MPICH 1MB bw = %.1f, want ~75", bw)
+	}
+	// Small-message latency well below ch_mad's 20 us.
+	if lat := ScaMPI().OneWay(4).Micros(); lat > 12 {
+		t.Errorf("ScaMPI 4B = %.1fus", lat)
+	}
+}
+
+func TestPaperShapeMyrinet(t *testing.T) {
+	// Fig. 8: MPI-GM capped near 50 MB/s; MPICH-PM reaches ~115+.
+	if bw := bwAt(MPIGM(), 1<<20); bw < 45 || bw > 55 {
+		t.Errorf("MPI-GM 1MB bw = %.1f, want ~50", bw)
+	}
+	if bw := bwAt(MPICHPM(), 1<<20); bw < 110 || bw > 120 {
+		t.Errorf("MPICH-PM 1MB bw = %.1f, want ~117", bw)
+	}
+	// PM sits ~5 us under ch_mad's ~20 us at small sizes (§5.4).
+	if lat := MPICHPM().OneWay(4).Micros(); lat < 13 || lat > 17 {
+		t.Errorf("MPICH-PM 4B = %.1fus, want ~15", lat)
+	}
+	// GM's flat region crosses ch_mad (~20 us + slope) around 512 B:
+	// below ch_mad at 1 KB, above it at 64 B.
+	if lat := MPIGM().OneWay(64).Micros(); lat < 20 {
+		t.Errorf("MPI-GM 64B = %.1fus, should be above ch_mad's ~21", lat)
+	}
+}
+
+func TestSeriesGeneration(t *testing.T) {
+	sizes := []int{1, 1024, 1 << 20}
+	s := MPIGM().Series(sizes)
+	if s.Name != "MPI-GM" || len(s.Points) != 3 {
+		t.Fatalf("series %q with %d points", s.Name, len(s.Points))
+	}
+	for i, p := range s.Points {
+		if p.Size != sizes[i] || p.OneWay <= 0 {
+			t.Fatalf("point %d: %+v", i, p)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+// Package cluster assembles simulated MPI sessions: it turns a declarative
+// topology (nodes, networks, rank placement) into wired processes — ch_self
+// for intra-process, smp_plug for intra-node, ch_mad over Madeleine
+// channels for inter-node — and launches rank programs, reproducing the
+// paper's Fig. 3 software organization. It is the substitute for real
+// cluster-of-clusters hardware and mpirun (see DESIGN.md §2).
+package cluster
+
+import (
+	"fmt"
+
+	"mpichmad/internal/adi"
+	"mpichmad/internal/chp4"
+	"mpichmad/internal/chself"
+	"mpichmad/internal/core"
+	"mpichmad/internal/madeleine"
+	"mpichmad/internal/marcel"
+	"mpichmad/internal/mpi"
+	"mpichmad/internal/netsim"
+	"mpichmad/internal/smpplug"
+	"mpichmad/internal/vtime"
+)
+
+// NodeSpec places Procs MPI ranks on one physical node.
+type NodeSpec struct {
+	Name  string
+	Procs int
+}
+
+// NetworkSpec declares one physical network and which nodes it connects.
+// Protocol selects a netsim preset ("tcp", "sisci", "bip"); Params, if
+// non-nil, overrides it entirely.
+type NetworkSpec struct {
+	Name     string
+	Protocol string
+	Params   *netsim.Params
+	Nodes    []string
+}
+
+// Topology is a declarative cluster-of-clusters description.
+type Topology struct {
+	Nodes    []NodeSpec
+	Networks []NetworkSpec
+
+	// Device selects the inter-node MPICH device: "ch_mad" (default)
+	// or "ch_p4" (baseline; requires a single tcp network).
+	Device string
+
+	// Forwarding enables the §6 gateway store-and-forward extension:
+	// nodes without a shared network communicate through multi-homed
+	// gateway nodes (ch_mad only).
+	Forwarding bool
+
+	// Deadline bounds the session's virtual time (default 1000 s).
+	Deadline vtime.Duration
+}
+
+// Rank is one wired MPI process.
+type Rank struct {
+	Rank int
+	Node string
+	Proc *marcel.Proc
+	MPI  *mpi.Process
+	Eng  *adi.Engine
+	// ChMad is the inter-node device (nil when Device is ch_p4).
+	ChMad *core.Device
+}
+
+// Session is a fully wired simulated MPI job, ready to Run.
+type Session struct {
+	S        *vtime.Scheduler
+	Topo     Topology
+	Ranks    []*Rank
+	Networks map[string]*netsim.Network
+
+	nodeOf  map[int]string // rank -> node
+	rankErr []error
+}
+
+// Build wires a session from a topology.
+func Build(topo Topology) (*Session, error) {
+	if topo.Device == "" {
+		topo.Device = "ch_mad"
+	}
+	if topo.Deadline == 0 {
+		topo.Deadline = 1000 * vtime.Second
+	}
+	s := vtime.New()
+	s.SetDeadline(vtime.Time(topo.Deadline))
+	sess := &Session{
+		S:        s,
+		Topo:     topo,
+		Networks: make(map[string]*netsim.Network),
+		nodeOf:   make(map[int]string),
+	}
+
+	nodeNets := make(map[string][]string) // node -> network names
+	var nets []*netsim.Network
+	for _, ns := range topo.Networks {
+		var params netsim.Params
+		if ns.Params != nil {
+			params = *ns.Params
+		} else {
+			p, ok := netsim.ByProtocol(ns.Protocol)
+			if !ok {
+				return nil, fmt.Errorf("cluster: unknown protocol %q", ns.Protocol)
+			}
+			params = p
+		}
+		net := netsim.NewNetwork(s, ns.Name, params)
+		sess.Networks[ns.Name] = net
+		nets = append(nets, net)
+		for _, n := range ns.Nodes {
+			nodeNets[n] = append(nodeNets[n], ns.Name)
+		}
+	}
+
+	// Place ranks on nodes.
+	var places []placementInfo
+	for _, nd := range topo.Nodes {
+		if nd.Procs <= 0 {
+			return nil, fmt.Errorf("cluster: node %s has %d procs", nd.Name, nd.Procs)
+		}
+		for i := 0; i < nd.Procs; i++ {
+			pname := nd.Name
+			if nd.Procs > 1 {
+				pname = fmt.Sprintf("%s.p%d", nd.Name, i)
+			}
+			places = append(places, placementInfo{node: nd.Name, proc: pname})
+		}
+	}
+	size := len(places)
+	if size == 0 {
+		return nil, fmt.Errorf("cluster: empty topology")
+	}
+
+	switch topo.Device {
+	case "ch_mad":
+		if err := sess.buildChMad(places, nodeNets, nets); err != nil {
+			return nil, err
+		}
+	case "ch_p4":
+		if err := sess.buildChP4(places); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown device %q", topo.Device)
+	}
+	return sess, nil
+}
+
+// placementInfo records where one rank lives: its node and its unique
+// process/endpoint name.
+type placementInfo struct {
+	node string
+	proc string
+}
+
+func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]string, nets []*netsim.Network) error {
+	s := sess.S
+	size := len(places)
+
+	// Per-node shared-memory segments for multi-proc nodes.
+	smpNodes := make(map[string]*smpplug.Node)
+	perNode := make(map[string]int)
+	for _, pl := range places {
+		perNode[pl.node]++
+	}
+	for node, n := range perNode {
+		if n > 1 {
+			smpNodes[node] = smpplug.NewNode(s, node)
+		}
+	}
+
+	type rankWiring struct {
+		rank   *Rank
+		self   *chself.Device
+		smp    *smpplug.Device
+		chanOf map[string]*madeleine.Channel // network name -> channel
+	}
+	wirings := make([]*rankWiring, size)
+
+	for r, pl := range places {
+		proc := marcel.NewProc(s, pl.proc)
+		eng := adi.NewEngine(proc, r)
+		dev := core.New(proc, eng, r)
+		inst := madeleine.New(proc)
+		chanOf := make(map[string]*madeleine.Channel)
+		for _, netName := range nodeNets[pl.node] {
+			net := sess.Networks[netName]
+			ch, err := inst.NewChannel(netName, net)
+			if err != nil {
+				return err
+			}
+			dev.AddChannel(ch)
+			chanOf[netName] = ch
+		}
+		w := &rankWiring{
+			rank: &Rank{Rank: r, Node: pl.node, Proc: proc,
+				Eng: eng, ChMad: dev},
+			self:   chself.New(proc, eng),
+			chanOf: chanOf,
+		}
+		if seg := smpNodes[pl.node]; seg != nil {
+			w.smp = seg.Join(proc, eng, r)
+		}
+		wirings[r] = w
+		sess.nodeOf[r] = pl.node
+	}
+
+	// Inter-node routing: BFS over the proc graph whose edges are shared
+	// networks (preferring higher bandwidth), possibly through gateways
+	// when Forwarding is on.
+	netsOf := func(r int) []string { return nodeNets[places[r].node] }
+	bestShared := func(a, b int) string {
+		best := ""
+		var bw float64 = -1
+		for _, na := range netsOf(a) {
+			for _, nb := range netsOf(b) {
+				if na == nb && sess.Networks[na].Params.Bandwidth > bw {
+					best, bw = na, sess.Networks[na].Params.Bandwidth
+				}
+			}
+		}
+		return best
+	}
+
+	for r := 0; r < size; r++ {
+		w := wirings[r]
+		for dst := 0; dst < size; dst++ {
+			if dst == r || places[dst].node == places[r].node {
+				continue
+			}
+			if netName := bestShared(r, dst); netName != "" {
+				w.rank.ChMad.AddRoute(dst, core.Route{
+					Channel:  w.chanOf[netName],
+					NextNode: places[dst].proc,
+				})
+				continue
+			}
+			if !sess.Topo.Forwarding {
+				continue // unroutable: Send will error
+			}
+			hopRank, netName := sess.firstHop(r, dst, size, netsOf, bestShared)
+			if hopRank < 0 {
+				continue
+			}
+			w.rank.ChMad.AddRoute(dst, core.Route{
+				Channel:  w.chanOf[netName],
+				NextNode: places[hopRank].proc,
+			})
+		}
+	}
+
+	for r := 0; r < size; r++ {
+		w := wirings[r]
+		w.rank.ChMad.Start()
+		devices := []adi.Device{w.self, w.rank.ChMad}
+		if w.smp != nil {
+			devices = append(devices, w.smp)
+		}
+		self, smp, chmad := w.self, w.smp, w.rank.ChMad
+		myNode := places[r].node
+		rr := r
+		route := func(dstWorld int) adi.Device {
+			switch {
+			case dstWorld == rr:
+				return self
+			case sess.nodeOf[dstWorld] == myNode && smp != nil:
+				return smp
+			default:
+				return chmad
+			}
+		}
+		w.rank.MPI = mpi.NewProcess(w.rank.Proc, w.rank.Eng, r, size, route, devices)
+		sess.Ranks = append(sess.Ranks, w.rank)
+	}
+	return nil
+}
+
+// firstHop BFS: find the first hop (and its network) on a shortest path
+// from src to dst across the proc graph.
+func (sess *Session) firstHop(src, dst, size int, netsOf func(int) []string,
+	bestShared func(a, b int) string) (int, string) {
+	prev := make([]int, size)
+	for i := range prev {
+		prev[i] = -2
+	}
+	prev[src] = -1
+	queue := []int{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for next := 0; next < size; next++ {
+			if next == cur || prev[next] != -2 {
+				continue
+			}
+			if bestShared(cur, next) == "" {
+				continue
+			}
+			prev[next] = cur
+			if next == dst {
+				// Walk back to the first hop.
+				hop := dst
+				for prev[hop] != src {
+					hop = prev[hop]
+				}
+				return hop, bestShared(src, hop)
+			}
+			queue = append(queue, next)
+		}
+	}
+	return -1, ""
+}
+
+func (sess *Session) buildChP4(places []placementInfo) error {
+	if len(sess.Networks) != 1 {
+		return fmt.Errorf("cluster: ch_p4 requires exactly one network")
+	}
+	var tcp *netsim.Network
+	for _, n := range sess.Networks {
+		tcp = n
+	}
+	size := len(places)
+	ranks := make(map[int]string, size)
+	for r, pl := range places {
+		ranks[r] = pl.proc
+	}
+	for r, pl := range places {
+		proc := marcel.NewProc(sess.S, pl.proc)
+		eng := adi.NewEngine(proc, r)
+		p4 := chp4.New(proc, eng, tcp, ranks)
+		self := chself.New(proc, eng)
+		rr := r
+		route := func(dstWorld int) adi.Device {
+			if dstWorld == rr {
+				return self
+			}
+			return p4
+		}
+		mp := mpi.NewProcess(proc, eng, r, size, route, []adi.Device{self, p4})
+		sess.Ranks = append(sess.Ranks, &Rank{Rank: r, Node: pl.node, Proc: proc, Eng: eng, MPI: mp})
+		sess.nodeOf[r] = pl.node
+	}
+	return nil
+}
+
+// Run spawns main on every rank (receiving MPI_COMM_WORLD), executes the
+// simulation to completion, and returns the first error from any rank or
+// the scheduler. Ranks that return without calling Finalize are finalized
+// automatically.
+func (sess *Session) Run(main func(rank int, comm *mpi.Comm) error) error {
+	sess.rankErr = make([]error, len(sess.Ranks))
+	for _, rk := range sess.Ranks {
+		rk := rk
+		rk.Proc.Spawn("main", func() {
+			if err := main(rk.Rank, rk.MPI.World); err != nil {
+				sess.rankErr[rk.Rank] = fmt.Errorf("rank %d: %w", rk.Rank, err)
+				return
+			}
+			if err := rk.MPI.Finalize(); err != nil {
+				sess.rankErr[rk.Rank] = fmt.Errorf("rank %d finalize: %w", rk.Rank, err)
+			}
+		})
+	}
+	schedErr := sess.S.Run()
+	// A rank error usually deadlocks the rest of the job (they wait for
+	// a peer that already failed); report the root cause first.
+	for _, err := range sess.rankErr {
+		if err != nil {
+			if schedErr != nil {
+				return fmt.Errorf("%w (then: %v)", err, schedErr)
+			}
+			return err
+		}
+	}
+	return schedErr
+}
+
+// Launch is Build followed by Run.
+func Launch(topo Topology, main func(rank int, comm *mpi.Comm) error) (*Session, error) {
+	sess, err := Build(topo)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Run(main); err != nil {
+		return sess, err
+	}
+	return sess, nil
+}
+
+// TwoNodes is a convenience topology: two single-proc nodes joined by one
+// network of the given protocol.
+func TwoNodes(protocol string) Topology {
+	return Topology{
+		Nodes: []NodeSpec{{Name: "n0", Procs: 1}, {Name: "n1", Procs: 1}},
+		Networks: []NetworkSpec{
+			{Name: protocol, Protocol: protocol, Nodes: []string{"n0", "n1"}},
+		},
+	}
+}

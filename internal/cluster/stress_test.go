@@ -1,0 +1,203 @@
+package cluster
+
+// A larger-scale integration stress test: the full software stack (MPI
+// collectives + p2p over ch_self/smp_plug/ch_mad across three networks)
+// on a 12-rank heterogeneous cluster of clusters with SMP nodes — the
+// deployment the paper's introduction motivates.
+
+import (
+	"fmt"
+	"testing"
+
+	"mpichmad/internal/mpi"
+)
+
+func bigTopology() Topology {
+	return Topology{
+		Nodes: []NodeSpec{
+			// SCI island: two dual-processor nodes.
+			{Name: "sci0", Procs: 2}, {Name: "sci1", Procs: 2},
+			// Myrinet island: two dual-processor nodes.
+			{Name: "myri0", Procs: 2}, {Name: "myri1", Procs: 2},
+			// Ethernet-only stragglers.
+			{Name: "eth0", Procs: 2}, {Name: "eth1", Procs: 2},
+		},
+		Networks: []NetworkSpec{
+			{Name: "sci", Protocol: "sisci", Nodes: []string{"sci0", "sci1"}},
+			{Name: "myri", Protocol: "bip", Nodes: []string{"myri0", "myri1"}},
+			{Name: "tcp", Protocol: "tcp",
+				Nodes: []string{"sci0", "sci1", "myri0", "myri1", "eth0", "eth1"}},
+		},
+	}
+}
+
+func TestTwelveRankHeterogeneousStress(t *testing.T) {
+	sess, err := Build(bigTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	if len(sess.Ranks) != n {
+		t.Fatalf("ranks = %d", len(sess.Ranks))
+	}
+	err = sess.Run(func(rank int, comm *mpi.Comm) error {
+		// 1. Collective sanity at scale.
+		sum := make([]byte, 8)
+		if err := comm.Allreduce(mpi.Int64Bytes([]int64{int64(rank)}), sum, 1, mpi.Int64, mpi.OpSum); err != nil {
+			return err
+		}
+		if got := mpi.BytesInt64(sum)[0]; got != n*(n-1)/2 {
+			return fmt.Errorf("allreduce = %d", got)
+		}
+
+		// 2. Every rank exchanges with every other rank: exercises all
+		// three device classes (self excluded, smp for the node peer,
+		// ch_mad on the best shared network otherwise), mixing eager
+		// (1 KB) and rendez-vous (100 KB) sizes.
+		for step := 1; step < n; step++ {
+			peer := (rank + step) % n
+			size := 1 << 10
+			if step%3 == 0 {
+				size = 100 << 10 // rendez-vous on every network's threshold
+			}
+			out := make([]byte, size)
+			for i := range out {
+				out[i] = byte(rank + step)
+			}
+			in := make([]byte, size)
+			if _, err := comm.Sendrecv(out, size, mpi.Byte, peer, step,
+				in, size, mpi.Byte, (rank-step+n)%n, step); err != nil {
+				return err
+			}
+			expect := byte((rank-step+n)%n + step)
+			for i := range in {
+				if in[i] != expect {
+					return fmt.Errorf("rank %d step %d: byte %d = %d, want %d", rank, step, i, in[i], expect)
+				}
+			}
+		}
+
+		// 3. Split by island and run an island barrier + reduce.
+		island := rank / 4 // 0: sci, 1: myri, 2: eth
+		sub, err := comm.Split(island, rank)
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 4 {
+			return fmt.Errorf("island size %d", sub.Size())
+		}
+		if err := sub.Barrier(); err != nil {
+			return err
+		}
+		one := make([]byte, 8)
+		if err := sub.Allreduce(mpi.Int64Bytes([]int64{1}), one, 1, mpi.Int64, mpi.OpSum); err != nil {
+			return err
+		}
+		if mpi.BytesInt64(one)[0] != 4 {
+			return fmt.Errorf("island allreduce = %d", mpi.BytesInt64(one)[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every network must have carried real traffic.
+	for name, net := range sess.Networks {
+		if net.Stats.Packets == 0 {
+			t.Errorf("network %s carried nothing", name)
+		}
+	}
+	// SMP traffic must have happened on the dual nodes.
+	smpUsed := false
+	for _, rk := range sess.Ranks {
+		if rk.Eng.NMatched > 0 {
+			smpUsed = true
+		}
+	}
+	if !smpUsed {
+		t.Error("no matches recorded at all")
+	}
+}
+
+func TestDeterministicStress(t *testing.T) {
+	run := func() int64 {
+		sess, err := Build(bigTopology())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Run(func(rank int, comm *mpi.Comm) error {
+			out := make([]byte, 8*12)
+			return comm.Allgather(mpi.Int64Bytes([]int64{int64(rank)}), out, 1, mpi.Int64)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return int64(sess.S.Now())
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("12-rank session nondeterministic: %d vs %d", a, b)
+	}
+}
+
+// TestMultiHopForwardingChain routes through TWO gateways: the BFS routing
+// and per-hop ch_mad relays must compose transparently.
+func TestMultiHopForwardingChain(t *testing.T) {
+	topo := Topology{
+		Nodes: []NodeSpec{
+			{Name: "a", Procs: 1}, {Name: "g1", Procs: 1},
+			{Name: "g2", Procs: 1}, {Name: "b", Procs: 1},
+		},
+		Networks: []NetworkSpec{
+			{Name: "sci", Protocol: "sisci", Nodes: []string{"a", "g1"}},
+			{Name: "tcp", Protocol: "tcp", Nodes: []string{"g1", "g2"}},
+			{Name: "myri", Protocol: "bip", Nodes: []string{"g2", "b"}},
+		},
+		Forwarding: true,
+	}
+	sess, err := Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 50000 // rendez-vous across the whole chain
+	err = sess.Run(func(rank int, comm *mpi.Comm) error {
+		switch rank {
+		case 0:
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i * 11)
+			}
+			if err := comm.Send(payload, size, mpi.Byte, 3, 5); err != nil {
+				return err
+			}
+			// And a reply the other way.
+			buf := make([]byte, 4)
+			_, err := comm.Recv(buf, 4, mpi.Byte, 3, 6)
+			if err != nil {
+				return err
+			}
+			if string(buf) != "pong" {
+				return fmt.Errorf("reply = %q", buf)
+			}
+			return nil
+		case 3:
+			buf := make([]byte, size)
+			if _, err := comm.Recv(buf, size, mpi.Byte, 0, 5); err != nil {
+				return err
+			}
+			for i := range buf {
+				if buf[i] != byte(i*11) {
+					return fmt.Errorf("byte %d corrupted over 3 networks", i)
+				}
+			}
+			return comm.Send([]byte("pong"), 4, mpi.Byte, 0, 6)
+		}
+		return nil // gateways: pure relays
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Ranks[1].ChMad.NForwarded == 0 || sess.Ranks[2].ChMad.NForwarded == 0 {
+		t.Fatalf("both gateways must relay: g1=%d g2=%d",
+			sess.Ranks[1].ChMad.NForwarded, sess.Ranks[2].ChMad.NForwarded)
+	}
+}

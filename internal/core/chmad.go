@@ -1,0 +1,506 @@
+package core
+
+import (
+	"fmt"
+
+	"mpichmad/internal/adi"
+	"mpichmad/internal/madeleine"
+	"mpichmad/internal/marcel"
+)
+
+// Route tells the device how to reach a destination rank: which Madeleine
+// channel to use and the next-hop node on that channel. When the next hop
+// is a gateway (forwarding extension, §6), NextNode differs from the
+// destination's own node and intermediate devices relay the message.
+type Route struct {
+	Channel  *madeleine.Channel
+	NextNode string
+}
+
+// Device is the ch_mad MPICH device of one process. It satisfies
+// adi.Device and handles all inter-node traffic of that process over any
+// number of networks simultaneously.
+type Device struct {
+	proc *marcel.Proc
+	eng  *adi.Engine
+	rank int
+
+	channels []*madeleine.Channel
+	routes   map[int]Route
+
+	// switchPoint is the single eager->rendez-vous threshold the ADI's
+	// MPID_Device structure allows (§4.2.2), elected by ElectSwitchPoint.
+	switchPoint int
+
+	// MonolithicEager reverts the §4.2.2 header/body split to the naive
+	// scheme: eager data is copied into a constant-size
+	// MPID_PKT_MAX_DATA_SIZE buffer that is transmitted whole, padding
+	// and all. Only used by the X2 ablation benchmark.
+	MonolithicEager bool
+
+	nextReq  uint32
+	nextSync uint32
+	pending  map[uint32]*adi.SendReq // ReqID -> rndv send awaiting OK
+	rndvRx   map[uint32]*rndvState   // SyncID -> matched receive
+
+	stopped bool
+
+	// Counters for tests and experiment reports.
+	NEager, NRndv, NForwarded uint64
+}
+
+// rndvState is the receiver-side rendez-vous bookkeeping: the paper's
+// MPID_RNDV_T synchronization structure (a semaphore plus the owning
+// rhandle); here the rhandle's Done event plays the semaphore.
+type rndvState struct {
+	r   *adi.RecvReq
+	env adi.Envelope
+}
+
+// New creates a ch_mad device for one process. Channels are added with
+// AddChannel and destinations with AddRoute; call Start once wiring is
+// complete to launch the per-channel polling threads (§4.2.3).
+func New(p *marcel.Proc, eng *adi.Engine, rank int) *Device {
+	return &Device{
+		proc:    p,
+		eng:     eng,
+		rank:    rank,
+		routes:  make(map[int]Route),
+		pending: make(map[uint32]*adi.SendReq),
+		rndvRx:  make(map[uint32]*rndvState),
+	}
+}
+
+// Name implements adi.Device.
+func (d *Device) Name() string { return "ch_mad" }
+
+// Rank returns the owning process's world rank.
+func (d *Device) Rank() int { return d.rank }
+
+// AddChannel registers a Madeleine channel (one per network protocol).
+func (d *Device) AddChannel(ch *madeleine.Channel) {
+	d.channels = append(d.channels, ch)
+}
+
+// AddRoute maps a destination world rank to a channel and next-hop node.
+func (d *Device) AddRoute(rank int, r Route) { d.routes[rank] = r }
+
+// Channels returns the registered channels (for tests and experiments).
+func (d *Device) Channels() []*madeleine.Channel { return d.channels }
+
+// ElectSwitchPoint applies the §4.2.2 policy to pick the device's single
+// threshold: "the switch point value for the ch_mad device is 8 KB if SCI
+// is a network supported within the material configuration. If not, the
+// switch point of the most performant network is elected."
+func (d *Device) ElectSwitchPoint() int {
+	best := 0
+	var bestBW float64 = -1
+	for _, ch := range d.channels {
+		p := ch.Params
+		if p.Protocol == "sisci" {
+			d.switchPoint = p.SwitchPoint
+			return d.switchPoint
+		}
+		if p.Bandwidth > bestBW {
+			bestBW = p.Bandwidth
+			best = p.SwitchPoint
+		}
+	}
+	if best == 0 {
+		best = 64 << 10
+	}
+	d.switchPoint = best
+	return best
+}
+
+// SetSwitchPoint overrides the elected threshold (ablation X1).
+func (d *Device) SetSwitchPoint(n int) { d.switchPoint = n }
+
+// SwitchPoint implements adi.Device.
+func (d *Device) SwitchPoint() int { return d.switchPoint }
+
+// Start launches one polling thread per channel ("we assign one thread
+// per Madeleine channel", §4.1). Polling threads are daemons: they live
+// from MPI_Init to the end of the program.
+func (d *Device) Start() {
+	if d.switchPoint == 0 {
+		d.ElectSwitchPoint()
+	}
+	for _, ch := range d.channels {
+		ch := ch
+		d.proc.SpawnDaemon("ch_mad.poll."+ch.Name, func() { d.pollLoop(ch) })
+	}
+}
+
+// Shutdown implements adi.Device. It only marks the device stopped:
+// channels stay open because a gateway may still have to forward traffic
+// for other ranks after its own MPI_Finalize barrier (§6 extension), and
+// polling threads are daemons reaped when the simulation's application
+// tasks finish.
+func (d *Device) Shutdown() {
+	d.stopped = true
+}
+
+// Send implements adi.Device: select the transfer mode by message size
+// ("the mode selection is dynamically performed, according to the message
+// size", §4.1) and run it. May block in virtual time until the send is
+// locally complete for the eager path; rendez-vous completion is signalled
+// asynchronously via sr.Done.
+func (d *Device) Send(sr *adi.SendReq) {
+	rt, ok := d.routes[sr.Dst]
+	if !ok {
+		sr.Err = fmt.Errorf("ch_mad: rank %d has no route to rank %d", d.rank, sr.Dst)
+		sr.Done.Fire()
+		return
+	}
+	if !sr.Sync && len(sr.Data) <= d.switchPoint {
+		d.sendEager(sr, rt)
+		return
+	}
+	d.sendRndvRequest(sr, rt)
+}
+
+// sendEager transmits a MAD_SHORT_PKT: header EXPRESS, user data as a
+// zero-copy CHEAPER body (the §4.2.2 split). Completion is local: Done
+// fires when the message is injected.
+func (d *Device) sendEager(sr *adi.SendReq, rt Route) {
+	d.NEager++
+	h := header{
+		Type:    PktShort,
+		SrcRank: sr.Env.Src,
+		DstRank: sr.Dst,
+		Tag:     sr.Env.Tag,
+		Context: sr.Env.Context,
+		Len:     sr.Env.Len,
+	}
+	conn, err := rt.Channel.BeginPacking(rt.NextNode)
+	if err != nil {
+		sr.Err = err
+		sr.Done.Fire()
+		return
+	}
+	if err == nil {
+		err = conn.Pack(h.encode(), madeleine.SendCheaper, madeleine.ReceiveExpress)
+	}
+	if err == nil && len(sr.Data) > 0 {
+		if d.MonolithicEager {
+			// Ablation X2: naive ADI short packet with a constant
+			// MPID_PKT_MAX_DATA_SIZE buffer: copy the user data in
+			// (sender-side copy!) and ship the whole padded buffer.
+			padded := make([]byte, d.switchPoint)
+			d.proc.Compute(rt.Channel.Params.CopyTime(len(sr.Data)))
+			copy(padded, sr.Data)
+			err = conn.Pack(padded, madeleine.SendLater, madeleine.ReceiveCheaper)
+		} else {
+			err = conn.Pack(sr.Data, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		}
+	}
+	if err == nil {
+		err = conn.EndPacking()
+	}
+	sr.Err = err
+	sr.Done.Fire()
+}
+
+// sendRndvRequest opens a rendez-vous (Fig. 4b): emit MAD_REQUEST_PKT and
+// park the request until the SendOK returns.
+func (d *Device) sendRndvRequest(sr *adi.SendReq, rt Route) {
+	d.NRndv++
+	d.nextReq++
+	id := d.nextReq
+	d.pending[id] = sr
+	h := header{
+		Type:    PktRequest,
+		SrcRank: sr.Env.Src,
+		DstRank: sr.Dst,
+		Tag:     sr.Env.Tag,
+		Context: sr.Env.Context,
+		Len:     sr.Env.Len,
+		ReqID:   id,
+	}
+	if err := d.sendHeaderOnly(rt, h); err != nil {
+		delete(d.pending, id)
+		sr.Err = err
+		sr.Done.Fire()
+	}
+}
+
+// sendHeaderOnly ships a body-less control message (REQUEST/SENDOK/TERM):
+// "the other messages do not have a body (thus avoiding unnecessary and
+// expensive pack operations)" (§4.2.1).
+func (d *Device) sendHeaderOnly(rt Route, h header) error {
+	conn, err := rt.Channel.BeginPacking(rt.NextNode)
+	if err != nil {
+		return err
+	}
+	if err := conn.Pack(h.encode(), madeleine.SendCheaper, madeleine.ReceiveExpress); err != nil {
+		return err
+	}
+	return conn.EndPacking()
+}
+
+// pollLoop is one channel's polling thread (§4.2.3): receive each message
+// head, dispatch on packet type. It never sends directly — sends triggered
+// by incoming packets run on temporary threads, "because deadlock
+// situations might appear" if the poller blocked in a send.
+func (d *Device) pollLoop(ch *madeleine.Channel) {
+	for {
+		conn, err := ch.BeginUnpacking()
+		if err != nil {
+			panic(fmt.Sprintf("ch_mad[%d] poll %s: %v", d.rank, ch.Name, err))
+		}
+		hbuf := make([]byte, HeaderSize)
+		if err := conn.Unpack(hbuf, madeleine.SendCheaper, madeleine.ReceiveExpress); err != nil {
+			panic(fmt.Sprintf("ch_mad[%d] poll %s: %v", d.rank, ch.Name, err))
+		}
+		h, err := decodeHeader(hbuf)
+		if err != nil {
+			panic(err)
+		}
+		if h.Type == PktTerm {
+			conn.EndUnpacking()
+			return
+		}
+		if h.DstRank != d.rank {
+			d.forward(ch, conn, h)
+			continue
+		}
+		switch h.Type {
+		case PktShort:
+			d.inShort(ch, conn, h)
+		case PktRequest:
+			d.inRequest(ch, conn, h)
+		case PktSendOK:
+			d.inSendOK(ch, conn, h)
+		case PktRndv:
+			d.inRndvData(ch, conn, h)
+		default:
+			panic(fmt.Sprintf("ch_mad[%d]: unexpected %s on %s", d.rank, pktName(h.Type), ch.Name))
+		}
+	}
+}
+
+// handling charges the per-message device overhead measured in §5.2–§5.4
+// (dispatch, queue management, semaphore wakeup).
+func (d *Device) handling(ch *madeleine.Channel) {
+	d.proc.Compute(ch.Params.DeviceHandling)
+}
+
+// inShort lands an eager message: body into the matched buffer via one
+// intermediary copy ("optimized for latency, at the cost of an
+// intermediary copy on the receiving side", §4.1), or into an unexpected
+// stash.
+func (d *Device) inShort(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
+	env := h.envelope()
+	bodyLen := h.Len
+	if d.MonolithicEager && bodyLen > 0 {
+		bodyLen = d.switchPoint // padded constant-size buffer on the wire
+	}
+	var scratch []byte
+	if bodyLen > 0 {
+		scratch = make([]byte, bodyLen)
+		if err := conn.Unpack(scratch, d.eagerBodySendMode(), madeleine.ReceiveCheaper); err != nil {
+			panic(fmt.Sprintf("ch_mad[%d]: short body: %v", d.rank, err))
+		}
+	}
+	if err := conn.EndUnpacking(); err != nil {
+		panic(err)
+	}
+	d.handling(ch)
+	params := ch.Params
+	if r := d.eng.MatchPosted(env); r != nil {
+		n, err := adi.CheckLen(r, env)
+		d.proc.Compute(params.CopyTime(n)) // the eager intermediary copy
+		copy(r.Buf, scratch[:n])
+		adi.FinishRecv(r, env, err)
+		return
+	}
+	d.eng.AddUnexpected(env, func(r *adi.RecvReq) {
+		n, err := adi.CheckLen(r, env)
+		d.proc.Compute(params.CopyTime(n))
+		copy(r.Buf, scratch[:n])
+		adi.FinishRecv(r, env, err)
+	})
+}
+
+func (d *Device) eagerBodySendMode() madeleine.SendMode {
+	if d.MonolithicEager {
+		return madeleine.SendLater
+	}
+	return madeleine.SendCheaper
+}
+
+// inRequest matches a rendez-vous request (Fig. 4b step 1-2): as soon as
+// an rhandle is in charge, reply MAD_SENDOK_PKT carrying the sync_address.
+// The reply runs on a temporary thread: "each polling thread creates
+// threads in order to perform request and acknowledgement operations of
+// the rendez-vous transfer mode" (§4.2.3).
+func (d *Device) inRequest(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
+	if err := conn.EndUnpacking(); err != nil {
+		panic(err)
+	}
+	d.handling(ch)
+	env := h.envelope()
+	if r := d.eng.MatchPosted(env); r != nil {
+		d.replySendOK(h, r, env)
+		return
+	}
+	d.eng.AddUnexpected(env, func(r *adi.RecvReq) {
+		d.replySendOK(h, r, env)
+	})
+}
+
+func (d *Device) replySendOK(req header, r *adi.RecvReq, env adi.Envelope) {
+	d.nextSync++
+	sync := d.nextSync
+	d.rndvRx[sync] = &rndvState{r: r, env: env}
+	back, ok := d.routes[req.SrcRank]
+	if !ok {
+		adi.FinishRecv(r, env, fmt.Errorf("ch_mad: no return route to rank %d", req.SrcRank))
+		return
+	}
+	ok2S := header{
+		Type:    PktSendOK,
+		SrcRank: d.rank,
+		DstRank: req.SrcRank,
+		ReqID:   req.ReqID,
+		SyncID:  sync,
+	}
+	d.proc.Spawn("ch_mad.sendok", func() {
+		if err := d.sendHeaderOnly(back, ok2S); err != nil {
+			panic(fmt.Sprintf("ch_mad[%d]: sendok: %v", d.rank, err))
+		}
+	})
+}
+
+// inSendOK completes the sender side (Fig. 4b step 3): the data message
+// MAD_RNDV_PKT carries the receiver's sync_address in its header and the
+// payload as a zero-copy body. Runs on a temporary thread so the polling
+// thread never blocks in a send.
+func (d *Device) inSendOK(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
+	if err := conn.EndUnpacking(); err != nil {
+		panic(err)
+	}
+	d.handling(ch)
+	sr := d.pending[h.ReqID]
+	if sr == nil {
+		panic(fmt.Sprintf("ch_mad[%d]: SendOK for unknown request %d", d.rank, h.ReqID))
+	}
+	delete(d.pending, h.ReqID)
+	rt := d.routes[sr.Dst]
+	data := header{
+		Type:    PktRndv,
+		SrcRank: sr.Env.Src,
+		DstRank: sr.Dst,
+		Len:     sr.Env.Len,
+		SyncID:  h.SyncID,
+	}
+	d.proc.Spawn("ch_mad.rndvdata", func() {
+		conn2, err := rt.Channel.BeginPacking(rt.NextNode)
+		if err == nil {
+			err = conn2.Pack(data.encode(), madeleine.SendCheaper, madeleine.ReceiveExpress)
+		}
+		if err == nil {
+			err = conn2.Pack(sr.Data, madeleine.SendCheaper, madeleine.ReceiveCheaper)
+		}
+		if err == nil {
+			err = conn2.EndPacking()
+		}
+		sr.Err = err
+		sr.Done.Fire()
+	})
+}
+
+// inRndvData lands rendez-vous data (Fig. 4b final step): the polling
+// thread finds the rhandle from the sync_address in the header and the
+// body goes straight to the user buffer — "avoiding any intermediate
+// copies" — then releases the semaphore the main thread waits on.
+func (d *Device) inRndvData(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
+	st := d.rndvRx[h.SyncID]
+	if st == nil {
+		panic(fmt.Sprintf("ch_mad[%d]: RNDV data for unknown sync %d", d.rank, h.SyncID))
+	}
+	delete(d.rndvRx, h.SyncID)
+	n, lenErr := adi.CheckLen(st.r, st.env)
+	if lenErr != nil {
+		// Truncating: land in a scratch of the full length, keep the
+		// prefix (one charged copy).
+		scratch := make([]byte, h.Len)
+		if err := conn.Unpack(scratch, madeleine.SendCheaper, madeleine.ReceiveCheaper); err != nil {
+			panic(err)
+		}
+		d.proc.Compute(ch.Params.CopyTime(n))
+		copy(st.r.Buf, scratch[:n])
+	} else {
+		// Zero-copy landing directly into the user buffer.
+		if err := conn.Unpack(st.r.Buf[:n], madeleine.SendCheaper, madeleine.ReceiveCheaper); err != nil {
+			panic(err)
+		}
+	}
+	if err := conn.EndUnpacking(); err != nil {
+		panic(err)
+	}
+	d.handling(ch)
+	adi.FinishRecv(st.r, st.env, lenErr)
+}
+
+// forward relays a message addressed to another rank toward its
+// destination (the §6 forwarding extension): store-and-forward at the
+// gateway, on a temporary thread.
+func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
+	d.NForwarded++
+	// Drain the incoming message completely (store).
+	var body []byte
+	switch h.Type {
+	case PktShort, PktRndv:
+		if h.Len > 0 {
+			n := h.Len
+			if d.MonolithicEager && h.Type == PktShort {
+				n = d.switchPoint
+			}
+			body = make([]byte, n)
+			if err := conn.Unpack(body, d.eagerBodySendMode(), madeleine.ReceiveCheaper); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := conn.EndUnpacking(); err != nil {
+		panic(err)
+	}
+	d.handling(ch)
+	rt, ok := d.routes[h.DstRank]
+	if !ok {
+		panic(fmt.Sprintf("ch_mad[%d]: cannot forward to rank %d: no route", d.rank, h.DstRank))
+	}
+	// Re-emit on the outbound channel (forward), off the polling thread.
+	d.proc.Spawn("ch_mad.forward", func() {
+		conn2, err := rt.Channel.BeginPacking(rt.NextNode)
+		if err == nil {
+			err = conn2.Pack(h.encode(), madeleine.SendCheaper, madeleine.ReceiveExpress)
+		}
+		if err == nil && body != nil {
+			err = conn2.Pack(body, madeleine.SendLater, madeleine.ReceiveCheaper)
+		}
+		if err == nil {
+			err = conn2.EndPacking()
+		}
+		if err != nil {
+			panic(fmt.Sprintf("ch_mad[%d]: forward: %v", d.rank, err))
+		}
+	})
+}
+
+// SendTerm emits a MAD_TERM_PKT to a neighbour's channel, terminating its
+// polling loop (used by orderly shutdown tests).
+func (d *Device) SendTerm(dst int) error {
+	rt, ok := d.routes[dst]
+	if !ok {
+		return fmt.Errorf("ch_mad: no route to rank %d", dst)
+	}
+	return d.sendHeaderOnly(rt, header{Type: PktTerm, SrcRank: d.rank, DstRank: dst})
+}
+
+// Pending returns outstanding rendez-vous counts (tests).
+func (d *Device) Pending() (sends, recvs int) { return len(d.pending), len(d.rndvRx) }
+
+var _ adi.Device = (*Device)(nil)

@@ -1,0 +1,107 @@
+// Package core implements the paper's contribution: the ch_mad MPICH
+// device (§4), a single ADI device built on the Madeleine multi-protocol
+// library that handles every inter-node communication of an MPI session,
+// across all networks simultaneously.
+//
+// Structure (Fig. 3): one Madeleine channel per network protocol, one
+// polling thread per channel, eager and rendez-vous transfer modes
+// (Fig. 4), the five packet types of Fig. 5, the header/body split that
+// avoids the sender-side eager copy (§4.2.2), and the single elected
+// eager->rendez-vous switch point that the ADI's MPID_Device structure
+// forces on the device (§4.2.2).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mpichmad/internal/adi"
+)
+
+// ch_mad packet types (Fig. 5).
+const (
+	// PktShort carries eager-mode data: the ADI short-packet header
+	// travels in the ch_mad header buffer, the user data as the
+	// Madeleine message body (the §4.2.2 split).
+	PktShort = iota + 1
+	// PktRequest opens a rendez-vous: envelope only (Fig. 4b "Request").
+	PktRequest
+	// PktSendOK acknowledges a rendez-vous: carries the receiver's
+	// sync_address (MPID_RNDV_T hook) and echoes the sender's request id.
+	PktSendOK
+	// PktRndv carries rendez-vous data: sync_address in the header, the
+	// payload as a zero-copy body.
+	PktRndv
+	// PktTerm terminates a polling loop at MPI_Finalize.
+	PktTerm
+)
+
+func pktName(t int) string {
+	switch t {
+	case PktShort:
+		return "MAD_SHORT_PKT"
+	case PktRequest:
+		return "MAD_REQUEST_PKT"
+	case PktSendOK:
+		return "MAD_SENDOK_PKT"
+	case PktRndv:
+		return "MAD_RNDV_PKT"
+	case PktTerm:
+		return "MAD_TERM_PKT"
+	}
+	return fmt.Sprintf("pkt(%d)", t)
+}
+
+// header is the fixed ch_mad message header, always packed EXPRESS as the
+// first Madeleine block ("the header is always sent following the
+// Madeleine EXPRESS semantics (it contains data needed to unpack the
+// body)", §4.2.1). SrcRank/DstRank enable the gateway-forwarding
+// extension (§6 future work).
+type header struct {
+	Type    int
+	SrcRank int
+	DstRank int
+	Tag     int
+	Context int
+	Len     int
+	ReqID   uint32 // sender-side rendez-vous request id
+	SyncID  uint32 // receiver-side sync_address (MPID_RNDV_T)
+}
+
+// HeaderSize is the wire size of the ch_mad header block.
+const HeaderSize = 1 + 5*4 + 2*4
+
+func (h *header) encode() []byte {
+	buf := make([]byte, HeaderSize)
+	buf[0] = byte(h.Type)
+	le := binary.LittleEndian
+	le.PutUint32(buf[1:], uint32(int32(h.SrcRank)))
+	le.PutUint32(buf[5:], uint32(int32(h.DstRank)))
+	le.PutUint32(buf[9:], uint32(int32(h.Tag)))
+	le.PutUint32(buf[13:], uint32(int32(h.Context)))
+	le.PutUint32(buf[17:], uint32(int32(h.Len)))
+	le.PutUint32(buf[21:], h.ReqID)
+	le.PutUint32(buf[25:], h.SyncID)
+	return buf
+}
+
+func decodeHeader(buf []byte) (header, error) {
+	if len(buf) != HeaderSize {
+		return header{}, fmt.Errorf("core: header is %d bytes, want %d", len(buf), HeaderSize)
+	}
+	le := binary.LittleEndian
+	return header{
+		Type:    int(buf[0]),
+		SrcRank: int(int32(le.Uint32(buf[1:]))),
+		DstRank: int(int32(le.Uint32(buf[5:]))),
+		Tag:     int(int32(le.Uint32(buf[9:]))),
+		Context: int(int32(le.Uint32(buf[13:]))),
+		Len:     int(int32(le.Uint32(buf[17:]))),
+		ReqID:   le.Uint32(buf[21:]),
+		SyncID:  le.Uint32(buf[25:]),
+	}, nil
+}
+
+func (h *header) envelope() adi.Envelope {
+	return adi.Envelope{Src: h.SrcRank, Tag: h.Tag, Context: h.Context, Len: h.Len}
+}

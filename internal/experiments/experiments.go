@@ -1,0 +1,392 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): Table 1 (raw Madeleine), Figures 6–8 (ch_mad vs
+// baselines on TCP, SCI, BIP), Figure 9 (multi-protocol polling overhead),
+// Table 2 (ch_mad summary), plus the ablations and the §6 forwarding
+// extension. Used by cmd/experiments and by the top-level benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mpichmad/internal/baselines"
+	"mpichmad/internal/cluster"
+	"mpichmad/internal/mpi"
+	"mpichmad/internal/mpptest"
+	"mpichmad/internal/netsim"
+	"mpichmad/internal/stats"
+	"mpichmad/internal/vtime"
+)
+
+// Result is one regenerated artifact: rendered text plus the raw series
+// for programmatic checks.
+type Result struct {
+	ID     string
+	Title  string
+	Text   string
+	Series []*stats.Series
+}
+
+// protoTopo returns the mono-protocol two-node ch_mad topology used for
+// the paper's per-network curves ("those figures were obtained by
+// compiling the device in a mono-protocol fashion", §5).
+func protoTopo(protocol string) cluster.Topology {
+	return cluster.TwoNodes(protocol)
+}
+
+// multiTopo returns the Fig. 9 topology: SCI and TCP both connecting the
+// two nodes; traffic routes over SCI while the TCP polling thread idles.
+func multiTopo() cluster.Topology {
+	return cluster.Topology{
+		Nodes: []cluster.NodeSpec{{Name: "n0", Procs: 1}, {Name: "n1", Procs: 1}},
+		Networks: []cluster.NetworkSpec{
+			{Name: "sci", Protocol: "sisci", Nodes: []string{"n0", "n1"}},
+			{Name: "tcp", Protocol: "tcp", Nodes: []string{"n0", "n1"}},
+		},
+	}
+}
+
+// Table1 regenerates Table 1: raw Madeleine latency (4 B) and bandwidth
+// (8 MB) for TCP, BIP and SISCI.
+func Table1() (*Result, error) {
+	type row struct {
+		params  netsim.Params
+		wantLat float64
+		wantBW  float64
+	}
+	rows := []row{
+		{netsim.FastEthernetTCP(), 121, 11.2},
+		{netsim.MyrinetBIP(), 9.2, 122},
+		{netsim.SCISISCI(), 4.4, 82.6},
+	}
+	var b strings.Builder
+	b.WriteString("# Table 1: raw Madeleine latency and bandwidth\n")
+	fmt.Fprintf(&b, "%-14s %14s %12s %18s %14s\n", "protocol", "latency(us)", "paper(us)", "bandwidth(MB/s)", "paper(MB/s)")
+	for _, r := range rows {
+		lat, err := mpptest.RawMadeleine("raw", r.params, []int{4}, mpptest.Config{})
+		if err != nil {
+			return nil, err
+		}
+		bw, err := mpptest.RawMadeleine("raw", r.params, []int{8 * netsim.MB}, mpptest.Config{Iters: 1})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%-14s %14.1f %12.1f %18.1f %14.1f\n",
+			r.params.Protocol+"/"+r.params.Network,
+			lat.Points[0].LatencyUS(), r.wantLat,
+			bw.Points[0].BandwidthMBs(), r.wantBW)
+	}
+	return &Result{ID: "table1", Title: "Table 1", Text: b.String()}, nil
+}
+
+// figSweep measures ch_mad and raw Madeleine over a size sweep on one
+// protocol and appends the given reference models.
+func figSweep(protocol string, sizes []int, refs ...*baselines.ReferenceModel) ([]*stats.Series, error) {
+	params, _ := netsim.ByProtocol(protocol)
+	chmad, err := mpptest.MPIPingPong("ch_mad", protoTopo(protocol), sizes, mpptest.Config{})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := mpptest.RawMadeleine("raw_Madeleine", params, sizes, mpptest.Config{})
+	if err != nil {
+		return nil, err
+	}
+	series := []*stats.Series{chmad, raw}
+	for _, m := range refs {
+		series = append(series, m.Series(sizes))
+	}
+	return series, nil
+}
+
+// Fig6 regenerates Figure 6: ch_mad vs ch_p4 vs raw Madeleine on
+// TCP/Fast-Ethernet. part is 'a' (transfer time, 1 B–1 KB) or 'b'
+// (bandwidth, 1 B–1 MB).
+func Fig6(part byte) (*Result, error) {
+	sizes := stats.Sizes1B1KB()
+	if part == 'b' {
+		sizes = stats.Sizes1B1MB()
+	}
+	chmad, err := mpptest.MPIPingPong("ch_mad", protoTopo("tcp"), sizes, mpptest.Config{})
+	if err != nil {
+		return nil, err
+	}
+	p4topo := protoTopo("tcp")
+	p4topo.Device = "ch_p4"
+	chp4, err := mpptest.MPIPingPong("ch_p4", p4topo, sizes, mpptest.Config{})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := mpptest.RawMadeleine("raw_Madeleine", netsim.FastEthernetTCP(), sizes, mpptest.Config{})
+	if err != nil {
+		return nil, err
+	}
+	series := []*stats.Series{chmad, chp4, raw}
+	return render("fig6"+string(part), "Figure 6: TCP/Fast-Ethernet", part, series), nil
+}
+
+// Fig7 regenerates Figure 7: ch_mad vs ScaMPI vs SCI-MPICH vs raw
+// Madeleine on SISCI/SCI.
+func Fig7(part byte) (*Result, error) {
+	sizes := stats.Sizes1B1KB()
+	if part == 'b' {
+		sizes = stats.Sizes1B1MB()
+	}
+	series, err := figSweep("sisci", sizes, baselines.ScaMPI(), baselines.SCIMPICH())
+	if err != nil {
+		return nil, err
+	}
+	return render("fig7"+string(part), "Figure 7: SISCI/SCI", part, series), nil
+}
+
+// Fig8 regenerates Figure 8: ch_mad vs MPI-GM vs MPICH-PM vs raw
+// Madeleine on BIP/Myrinet.
+func Fig8(part byte) (*Result, error) {
+	sizes := stats.Sizes1B1KB()
+	if part == 'b' {
+		sizes = stats.Sizes1B1MB()
+	}
+	series, err := figSweep("bip", sizes, baselines.MPIGM(), baselines.MPICHPM())
+	if err != nil {
+		return nil, err
+	}
+	return render("fig8"+string(part), "Figure 8: BIP/Myrinet", part, series), nil
+}
+
+// Fig9 regenerates Figure 9: SCI performance with the SCI polling thread
+// alone versus with an additional (idle) TCP polling thread.
+func Fig9(part byte) (*Result, error) {
+	sizes := stats.Sizes1B1KB()
+	if part == 'b' {
+		sizes = stats.Sizes1B1MB()
+	}
+	alone, err := mpptest.MPIPingPong("SCI_thread_only", protoTopo("sisci"), sizes, mpptest.Config{})
+	if err != nil {
+		return nil, err
+	}
+	both, err := mpptest.MPIPingPong("SCI_thread_+_TCP_thread", multiTopo(), sizes, mpptest.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return render("fig9"+string(part), "Figure 9: multi-protocol polling overhead on SCI", part,
+		[]*stats.Series{alone, both}), nil
+}
+
+// Table2 regenerates Table 2: ch_mad 0 B / 4 B latency and 8 MB bandwidth
+// per network.
+func Table2() (*Result, error) {
+	type row struct {
+		protocol string
+		paper0   float64
+		paper4   float64
+		paperBW  float64
+	}
+	rows := []row{
+		{"tcp", 130, 148.7, 11.2},
+		{"bip", 16.9, 18.9, 115},
+		{"sisci", 13, 20, 82.5},
+	}
+	var b strings.Builder
+	b.WriteString("# Table 2: ch_mad summary of performance\n")
+	fmt.Fprintf(&b, "%-8s %11s %10s %11s %10s %12s %12s\n",
+		"proto", "lat0B(us)", "paper", "lat4B(us)", "paper", "bw8MB(MB/s)", "paper")
+	for _, r := range rows {
+		s, err := mpptest.MPIPingPong("ch_mad", protoTopo(r.protocol),
+			[]int{0, 4, 8 * netsim.MB}, mpptest.Config{Iters: 2})
+		if err != nil {
+			return nil, err
+		}
+		p0, _ := s.At(0)
+		p4, _ := s.At(4)
+		p8, _ := s.At(8 * netsim.MB)
+		fmt.Fprintf(&b, "%-8s %11.1f %10.1f %11.1f %10.1f %12.1f %12.1f\n",
+			r.protocol, p0.LatencyUS(), r.paper0, p4.LatencyUS(), r.paper4,
+			p8.BandwidthMBs(), r.paperBW)
+	}
+	return &Result{ID: "table2", Title: "Table 2", Text: b.String()}, nil
+}
+
+// AblationSwitchPoint (X1) sweeps the ch_mad eager->rendez-vous threshold
+// on the SCI+TCP configuration, showing why §4.2.2 elects SCI's 8 KB.
+func AblationSwitchPoint() (*Result, error) {
+	msgSizes := []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+	var series []*stats.Series
+	for _, sp := range []int{2 << 10, 8 << 10, 64 << 10} {
+		sp := sp
+		s, err := mpptest.MPIPingPong(fmt.Sprintf("switch=%s", stats.SizeLabel(sp)),
+			multiTopo(), msgSizes, mpptest.Config{
+				Mutate: func(sess *cluster.Session) {
+					for _, rk := range sess.Ranks {
+						rk.ChMad.SetSwitchPoint(sp)
+					}
+				},
+			})
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+	}
+	return render("ablation-switch",
+		"Ablation X1: switch-point election on SCI+TCP (unique threshold forced by MPID_Device)",
+		'b', series), nil
+}
+
+// AblationHeaderSplit (X2) compares the §4.2.2 header/body split against
+// the naive constant-size MPID_PKT_MAX_DATA_SIZE eager buffer on SCI
+// (padding waste plus a sender-side copy).
+func AblationHeaderSplit() (*Result, error) {
+	msgSizes := []int{64, 256, 1 << 10, 4 << 10, 8 << 10}
+	split, err := mpptest.MPIPingPong("header/body split", protoTopo("sisci"), msgSizes, mpptest.Config{})
+	if err != nil {
+		return nil, err
+	}
+	mono, err := mpptest.MPIPingPong("monolithic buffer", protoTopo("sisci"), msgSizes, mpptest.Config{
+		Mutate: func(sess *cluster.Session) {
+			for _, rk := range sess.Ranks {
+				rk.ChMad.MonolithicEager = true
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return render("ablation-split",
+		"Ablation X2: eager header/body split vs monolithic padded buffer (SCI)",
+		'a', []*stats.Series{split, mono}), nil
+}
+
+// Forwarding (X3) measures the §6 gateway store-and-forward extension:
+// latency SCI->gateway->Myrinet versus the direct SCI path.
+func Forwarding() (*Result, error) {
+	sizes := []int{4, 256, 4 << 10, 64 << 10, 1 << 20}
+	direct, err := mpptest.MPIPingPong("direct SCI", protoTopo("sisci"), sizes, mpptest.Config{})
+	if err != nil {
+		return nil, err
+	}
+	topo := cluster.Topology{
+		Nodes: []cluster.NodeSpec{
+			{Name: "n0", Procs: 1}, {Name: "gw", Procs: 1}, {Name: "n1", Procs: 1},
+		},
+		Networks: []cluster.NetworkSpec{
+			{Name: "sci", Protocol: "sisci", Nodes: []string{"n0", "gw"}},
+			{Name: "myri", Protocol: "bip", Nodes: []string{"gw", "n1"}},
+		},
+		Forwarding: true,
+	}
+	// Ping-pong between ranks 0 and 2 (through the gateway): reuse the
+	// MPI harness via a custom runner.
+	series := &stats.Series{Name: "SCI->gw->Myrinet"}
+	sess, err := cluster.Build(topo)
+	if err != nil {
+		return nil, err
+	}
+	err = sess.Run(func(rank int, comm *mpi.Comm) error {
+		if rank == 1 {
+			return nil // gateway: forwarding only
+		}
+		peer := 2 - rank // 0 <-> 2
+		for _, size := range sizes {
+			buf := make([]byte, size)
+			if rank == 0 {
+				start := sess.S.Now()
+				const iters = 2
+				for i := 0; i < iters; i++ {
+					if err := comm.Send(buf, size, mpi.Byte, peer, 1); err != nil {
+						return err
+					}
+					if _, err := comm.Recv(buf, size, mpi.Byte, peer, 1); err != nil {
+						return err
+					}
+				}
+				series.Add(size, sess.S.Now().Sub(start)/vtime.Duration(2*2))
+			} else {
+				for i := 0; i < 2; i++ {
+					if _, err := comm.Recv(buf, size, mpi.Byte, peer, 1); err != nil {
+						return err
+					}
+					if err := comm.Send(buf, size, mpi.Byte, peer, 1); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return render("forwarding",
+		"Extension X3: heterogeneous forwarding through a gateway node (§6 future work)",
+		'a', []*stats.Series{direct, series}), nil
+}
+
+func render(id, title string, part byte, series []*stats.Series) *Result {
+	var text string
+	if part == 'a' {
+		text = stats.Table(title+" — transfer time", "us", series, stats.Point.LatencyUS)
+	} else {
+		text = stats.Table(title+" — bandwidth", "MB/s", series, stats.Point.BandwidthMBs)
+	}
+	return &Result{ID: id, Title: title, Text: text, Series: series}
+}
+
+// All runs every experiment in paper order.
+func All() ([]*Result, error) {
+	var out []*Result
+	type gen func() (*Result, error)
+	gens := []gen{
+		Table1,
+		func() (*Result, error) { return Fig6('a') },
+		func() (*Result, error) { return Fig6('b') },
+		func() (*Result, error) { return Fig7('a') },
+		func() (*Result, error) { return Fig7('b') },
+		func() (*Result, error) { return Fig8('a') },
+		func() (*Result, error) { return Fig8('b') },
+		func() (*Result, error) { return Fig9('a') },
+		func() (*Result, error) { return Fig9('b') },
+		Table2,
+		AblationSwitchPoint,
+		AblationHeaderSplit,
+		Forwarding,
+	}
+	for _, g := range gens {
+		r, err := g()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByID runs one experiment by its id (e.g. "fig7b").
+func ByID(id string) (*Result, error) {
+	switch id {
+	case "table1":
+		return Table1()
+	case "fig6a":
+		return Fig6('a')
+	case "fig6b":
+		return Fig6('b')
+	case "fig7a":
+		return Fig7('a')
+	case "fig7b":
+		return Fig7('b')
+	case "fig8a":
+		return Fig8('a')
+	case "fig8b":
+		return Fig8('b')
+	case "fig9a":
+		return Fig9('a')
+	case "fig9b":
+		return Fig9('b')
+	case "table2":
+		return Table2()
+	case "ablation-switch":
+		return AblationSwitchPoint()
+	case "ablation-split":
+		return AblationHeaderSplit()
+	case "forwarding":
+		return Forwarding()
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q (see DESIGN.md experiment index)", id)
+}

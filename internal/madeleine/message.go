@@ -1,0 +1,103 @@
+package madeleine
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Block placement on the wire: either coalesced into the head packet's
+// aggregation area, or shipped as a standalone body packet.
+type blockPlacement uint8
+
+const (
+	placeAgg blockPlacement = iota
+	placeBody
+)
+
+// blockDesc describes one packed block inside a message.
+type blockDesc struct {
+	place    blockPlacement
+	sendMode SendMode
+	recvMode RecvMode
+	length   uint32
+}
+
+// Wire encoding of a message head:
+//
+//	u32 seq | u16 nblocks | nblocks x (u8 place | u8 sendMode | u8 recvMode | u32 len) | agg bytes
+//
+// Body packets carry their block's bytes verbatim and reference the block
+// by index through Packet.Kind's payload (see pktBody).
+const headFixed = 4 + 2
+const perBlock = 1 + 1 + 1 + 4
+
+// encodeHead serializes the descriptor table and aggregation area.
+func encodeHead(seq uint32, blocks []blockDesc, agg []byte) []byte {
+	buf := make([]byte, headFixed+perBlock*len(blocks)+len(agg))
+	binary.LittleEndian.PutUint32(buf[0:], seq)
+	binary.LittleEndian.PutUint16(buf[4:], uint16(len(blocks)))
+	off := headFixed
+	for _, b := range blocks {
+		buf[off] = byte(b.place)
+		buf[off+1] = byte(b.sendMode)
+		buf[off+2] = byte(b.recvMode)
+		binary.LittleEndian.PutUint32(buf[off+3:], b.length)
+		off += perBlock
+	}
+	copy(buf[off:], agg)
+	return buf
+}
+
+// decodeHead parses a head packet produced by encodeHead.
+func decodeHead(buf []byte) (seq uint32, blocks []blockDesc, agg []byte, err error) {
+	if len(buf) < headFixed {
+		return 0, nil, nil, fmt.Errorf("madeleine: truncated head (%d bytes)", len(buf))
+	}
+	seq = binary.LittleEndian.Uint32(buf[0:])
+	n := int(binary.LittleEndian.Uint16(buf[4:]))
+	need := headFixed + perBlock*n
+	if len(buf) < need {
+		return 0, nil, nil, fmt.Errorf("madeleine: truncated descriptor table (%d blocks, %d bytes)", n, len(buf))
+	}
+	blocks = make([]blockDesc, n)
+	off := headFixed
+	aggLen := 0
+	for i := range blocks {
+		blocks[i] = blockDesc{
+			place:    blockPlacement(buf[off]),
+			sendMode: SendMode(buf[off+1]),
+			recvMode: RecvMode(buf[off+2]),
+			length:   binary.LittleEndian.Uint32(buf[off+3:]),
+		}
+		if blocks[i].place == placeAgg {
+			aggLen += int(blocks[i].length)
+		}
+		off += perBlock
+	}
+	if len(buf) != need+aggLen {
+		return 0, nil, nil, fmt.Errorf("madeleine: head size %d, want %d (+%d agg)", len(buf), need, aggLen)
+	}
+	return seq, blocks, buf[need:], nil
+}
+
+// outMessage is the sender-side state of a message under construction.
+type outMessage struct {
+	conn   *Connection
+	seq    uint32
+	blocks []blockDesc
+	agg    []byte
+	bodies [][]byte // snapshots of placeBody blocks, in block order
+	packs  int
+	total  int
+}
+
+// inMessage is the receiver-side state of a message being consumed.
+type inMessage struct {
+	conn    *Connection
+	seq     uint32
+	blocks  []blockDesc
+	agg     []byte
+	aggOff  int
+	next    int // index of the next block to unpack
+	unpacks int
+}

@@ -1,0 +1,162 @@
+package marcel
+
+import (
+	"testing"
+
+	"mpichmad/internal/vtime"
+)
+
+func TestComputeSerializesWithinProcess(t *testing.T) {
+	s := vtime.New()
+	p := NewProc(s, "n0")
+	var done []vtime.Time
+	for i := 0; i < 3; i++ {
+		p.Spawn("w", func() {
+			p.Compute(10 * vtime.Microsecond)
+			done = append(done, s.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []vtime.Time{
+		vtime.Time(10 * vtime.Microsecond),
+		vtime.Time(20 * vtime.Microsecond),
+		vtime.Time(30 * vtime.Microsecond),
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+	if p.CPUBusy != 30*vtime.Microsecond {
+		t.Fatalf("CPUBusy = %v, want 30us", p.CPUBusy)
+	}
+}
+
+func TestProcessesRunConcurrently(t *testing.T) {
+	s := vtime.New()
+	a := NewProc(s, "a")
+	b := NewProc(s, "b")
+	var ta, tb vtime.Time
+	a.Spawn("w", func() { a.Compute(10 * vtime.Microsecond); ta = s.Now() })
+	b.Spawn("w", func() { b.Compute(10 * vtime.Microsecond); tb = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ta != vtime.Time(10*vtime.Microsecond) || tb != vtime.Time(10*vtime.Microsecond) {
+		t.Fatalf("processes serialized across each other: ta=%v tb=%v", ta, tb)
+	}
+}
+
+func TestWaitPollWakeOnArrival(t *testing.T) {
+	s := vtime.New()
+	p := NewProc(s, "n0")
+	q := vtime.NewQueue[int](s, "rx")
+	spec := PollSpec{DetectCost: 1 * vtime.Microsecond, Interval: 0}
+	var got int
+	var at vtime.Time
+	p.Spawn("poller", func() {
+		got = WaitPoll(p, q, spec)
+		at = s.Now()
+	})
+	p.Spawn("src", func() {
+		p.Sleep(5 * vtime.Microsecond)
+		q.Push(99)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("got %d, want 99", got)
+	}
+	// Arrival at 5us + 1us detection cost.
+	if at != vtime.Time(6*vtime.Microsecond) {
+		t.Fatalf("completed at %v, want 6us", at)
+	}
+}
+
+func TestWaitPollIdleBurn(t *testing.T) {
+	// An idle periodic poller must burn Cost of CPU every Interval,
+	// delaying other threads of the same process (the Fig. 9 mechanism).
+	s := vtime.New()
+	p := NewProc(s, "n0")
+	q := vtime.NewQueue[int](s, "tcp-rx")
+	spec := PollSpec{IdleCost: 10 * vtime.Microsecond, Interval: 10 * vtime.Microsecond}
+	p.SpawnDaemon("tcp-poller", func() { WaitPoll(p, q, spec) })
+	var workDone vtime.Time
+	p.Spawn("main", func() {
+		// 10 compute slices of 10us each = 100us of work. With the
+		// poller burning 50% duty, completion must be well past 100us.
+		for i := 0; i < 10; i++ {
+			p.Compute(10 * vtime.Microsecond)
+		}
+		workDone = s.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if workDone <= vtime.Time(100*vtime.Microsecond) {
+		t.Fatalf("work finished at %v; expected inflation from polling interference", workDone)
+	}
+	if workDone > vtime.Time(250*vtime.Microsecond) {
+		t.Fatalf("work finished at %v; interference unreasonably large", workDone)
+	}
+}
+
+func TestWaitPollItemAlreadyThere(t *testing.T) {
+	s := vtime.New()
+	p := NewProc(s, "n0")
+	q := vtime.NewQueue[int](s, "rx")
+	q.Push(7)
+	var got int
+	p.Spawn("main", func() {
+		got = WaitPoll(p, q, PollSpec{DetectCost: vtime.Microsecond, Interval: 100 * vtime.Microsecond})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("got %d", got)
+	}
+	if s.Now() != vtime.Time(vtime.Microsecond) {
+		t.Fatalf("took %v, want 1us (no idle wait)", s.Now())
+	}
+}
+
+func TestTryPollOnce(t *testing.T) {
+	s := vtime.New()
+	p := NewProc(s, "n0")
+	q := vtime.NewQueue[int](s, "rx")
+	p.Spawn("main", func() {
+		if _, ok := TryPollOnce(p, q, PollSpec{DetectCost: vtime.Microsecond}); ok {
+			t.Error("empty queue should not poll successfully")
+		}
+		if s.Now() != 0 {
+			t.Error("failed poll must not cost CPU in this model")
+		}
+		q.Push(1)
+		v, ok := TryPollOnce(p, q, PollSpec{DetectCost: vtime.Microsecond})
+		if !ok || v != 1 {
+			t.Errorf("got (%d,%v)", v, ok)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeZeroIsNoop(t *testing.T) {
+	s := vtime.New()
+	p := NewProc(s, "n0")
+	p.Spawn("main", func() {
+		p.Compute(0)
+		p.Compute(-5)
+		if s.Now() != 0 {
+			t.Error("zero/negative compute advanced time")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

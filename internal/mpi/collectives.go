@@ -1,0 +1,351 @@
+package mpi
+
+import "fmt"
+
+// Internal collective tags; collectives run on the communicator's paired
+// context (ctx+1), so they never collide with user point-to-point traffic.
+const (
+	tagBarrier = iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+	tagScan
+)
+
+func (c *Comm) collCtx() int { return c.ctx + 1 }
+
+// Barrier blocks until all members have entered it (MPI_Barrier).
+// Dissemination algorithm: ceil(log2 n) rounds of 0-byte exchanges.
+func (c *Comm) Barrier() error {
+	if err := c.checkLive("Barrier"); err != nil {
+		return err
+	}
+	n := c.Size()
+	for k := 1; k < n; k <<= 1 {
+		to := (c.myRank + k) % n
+		from := (c.myRank - k + n) % n
+		if err := c.sendRaw(nil, to, tagBarrier, c.collCtx()); err != nil {
+			return err
+		}
+		if _, err := c.recvRaw(nil, from, tagBarrier, c.collCtx()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts count elements of dt from root to every member
+// (MPI_Bcast). Binomial tree: latency O(log n).
+func (c *Comm) Bcast(buf []byte, count int, dt Datatype, root int) error {
+	if err := c.checkLive("Bcast"); err != nil {
+		return err
+	}
+	if err := c.checkPeer("Bcast", root); err != nil {
+		return err
+	}
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	rel := (c.myRank - root + n) % n
+	var data []byte
+	if rel == 0 {
+		data = PackBuf(buf, count, dt)
+	} else {
+		data = make([]byte, count*dt.Size())
+	}
+
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % n
+			if _, err := c.recvRaw(data, src, tagBcast, c.collCtx()); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := (rel + mask + root) % n
+			if err := c.sendRaw(data, dst, tagBcast, c.collCtx()); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	if rel != 0 {
+		c.p.M.Compute(c.p.memTime(len(data)))
+		UnpackBuf(buf, count, dt, data)
+	}
+	return nil
+}
+
+// Reduce combines count elements from every member's sendBuf with op,
+// leaving the result in root's recvBuf (MPI_Reduce). Binomial tree.
+func (c *Comm) Reduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) error {
+	if err := c.checkLive("Reduce"); err != nil {
+		return err
+	}
+	if err := c.checkPeer("Reduce", root); err != nil {
+		return err
+	}
+	n := c.Size()
+	acc := make([]byte, count*dt.Size())
+	copy(acc, PackBuf(sendBuf, count, dt))
+	c.p.M.Compute(c.p.memTime(len(acc)))
+
+	rel := (c.myRank - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			dst := (rel - mask + root) % n
+			if err := c.sendRaw(acc, dst, tagReduce, c.collCtx()); err != nil {
+				return err
+			}
+			break
+		}
+		if rel+mask < n {
+			src := (rel + mask + root) % n
+			part := make([]byte, len(acc))
+			if _, err := c.recvRaw(part, src, tagReduce, c.collCtx()); err != nil {
+				return err
+			}
+			if err := op.Apply(acc, part, count, dt); err != nil {
+				return err
+			}
+		}
+		mask <<= 1
+	}
+	if c.myRank == root {
+		c.p.M.Compute(c.p.memTime(len(acc)))
+		UnpackBuf(recvBuf, count, dt, acc)
+	}
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast (MPI_Allreduce).
+func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) error {
+	if err := c.Reduce(sendBuf, recvBuf, count, dt, op, 0); err != nil {
+		return err
+	}
+	return c.Bcast(recvBuf, count, dt, 0)
+}
+
+// Gather collects count elements from every member into root's recvBuf,
+// ordered by rank (MPI_Gather). recvBuf needs size*count elements at root.
+func (c *Comm) Gather(sendBuf []byte, recvBuf []byte, count int, dt Datatype, root int) error {
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = count
+	}
+	return c.Gatherv(sendBuf, count, recvBuf, counts, nil, dt, root)
+}
+
+// Gatherv is the variable-count gather (MPI_Gatherv). displs are element
+// offsets into recvBuf per rank; nil means dense packing in rank order.
+func (c *Comm) Gatherv(sendBuf []byte, sendCount int, recvBuf []byte, counts, displs []int, dt Datatype, root int) error {
+	if err := c.checkLive("Gatherv"); err != nil {
+		return err
+	}
+	if err := c.checkPeer("Gatherv", root); err != nil {
+		return err
+	}
+	if c.myRank != root {
+		data := PackBuf(sendBuf, sendCount, dt)
+		return c.sendRaw(data, root, tagGather, c.collCtx())
+	}
+	if len(counts) != c.Size() {
+		return fmt.Errorf("mpi: Gatherv: %d counts for %d ranks", len(counts), c.Size())
+	}
+	if displs == nil {
+		displs = make([]int, c.Size())
+		off := 0
+		for i, n := range counts {
+			displs[i] = off
+			off += n
+		}
+	}
+	ex := dt.Extent()
+	for r := 0; r < c.Size(); r++ {
+		dst := recvBuf[displs[r]*ex:]
+		if r == root {
+			data := PackBuf(sendBuf, sendCount, dt)
+			c.p.M.Compute(c.p.memTime(len(data)))
+			UnpackBuf(dst, counts[r], dt, data)
+			continue
+		}
+		tmp := make([]byte, counts[r]*dt.Size())
+		if _, err := c.recvRaw(tmp, r, tagGather, c.collCtx()); err != nil {
+			return err
+		}
+		UnpackBuf(dst, counts[r], dt, tmp)
+	}
+	return nil
+}
+
+// Scatter distributes count elements per rank from root's sendBuf
+// (MPI_Scatter).
+func (c *Comm) Scatter(sendBuf []byte, recvBuf []byte, count int, dt Datatype, root int) error {
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = count
+	}
+	return c.Scatterv(sendBuf, counts, nil, recvBuf, count, dt, root)
+}
+
+// Scatterv is the variable-count scatter (MPI_Scatterv).
+func (c *Comm) Scatterv(sendBuf []byte, counts, displs []int, recvBuf []byte, recvCount int, dt Datatype, root int) error {
+	if err := c.checkLive("Scatterv"); err != nil {
+		return err
+	}
+	if err := c.checkPeer("Scatterv", root); err != nil {
+		return err
+	}
+	if c.myRank != root {
+		tmp := make([]byte, recvCount*dt.Size())
+		if _, err := c.recvRaw(tmp, root, tagScatter, c.collCtx()); err != nil {
+			return err
+		}
+		c.p.M.Compute(c.p.memTime(len(tmp)))
+		UnpackBuf(recvBuf, recvCount, dt, tmp)
+		return nil
+	}
+	if len(counts) != c.Size() {
+		return fmt.Errorf("mpi: Scatterv: %d counts for %d ranks", len(counts), c.Size())
+	}
+	if displs == nil {
+		displs = make([]int, c.Size())
+		off := 0
+		for i, n := range counts {
+			displs[i] = off
+			off += n
+		}
+	}
+	ex := dt.Extent()
+	for r := 0; r < c.Size(); r++ {
+		chunk := PackBuf(sendBuf[displs[r]*ex:], counts[r], dt)
+		if r == root {
+			c.p.M.Compute(c.p.memTime(len(chunk)))
+			UnpackBuf(recvBuf, recvCount, dt, chunk)
+			continue
+		}
+		if err := c.sendRaw(chunk, r, tagScatter, c.collCtx()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allgather gathers count elements from each member into every member's
+// recvBuf in rank order (MPI_Allgather). Ring algorithm: n-1 steps, each
+// forwarding the block received in the previous step.
+func (c *Comm) Allgather(sendBuf []byte, recvBuf []byte, count int, dt Datatype) error {
+	if err := c.checkLive("Allgather"); err != nil {
+		return err
+	}
+	n := c.Size()
+	sz := count * dt.Size()
+	ex := dt.Extent()
+
+	// Place my own block.
+	mine := PackBuf(sendBuf, count, dt)
+	c.p.M.Compute(c.p.memTime(sz))
+	UnpackBuf(recvBuf[c.myRank*count*ex:], count, dt, mine)
+	if n == 1 {
+		return nil
+	}
+
+	right := (c.myRank + 1) % n
+	left := (c.myRank - 1 + n) % n
+	cur := make([]byte, sz)
+	copy(cur, mine)
+	for step := 0; step < n-1; step++ {
+		incoming := make([]byte, sz)
+		rreq, err := c.irecvRaw(incoming, left, tagAllgather)
+		if err != nil {
+			return err
+		}
+		if err := c.sendRaw(cur, right, tagAllgather, c.collCtx()); err != nil {
+			return err
+		}
+		if _, err := rreq.Wait(); err != nil {
+			return err
+		}
+		owner := (c.myRank - step - 1 + 2*n) % n
+		UnpackBuf(recvBuf[owner*count*ex:], count, dt, incoming)
+		cur = incoming
+	}
+	return nil
+}
+
+// irecvRaw posts a non-blocking raw receive on the collective context.
+func (c *Comm) irecvRaw(buf []byte, src, tag int) (*Request, error) {
+	return c.irecvOn(buf, c.group[src], tag, c.collCtx())
+}
+
+// Alltoall sends a distinct count-element block to every member and
+// receives one from each (MPI_Alltoall). Pairwise rotation: n steps.
+func (c *Comm) Alltoall(sendBuf []byte, recvBuf []byte, count int, dt Datatype) error {
+	if err := c.checkLive("Alltoall"); err != nil {
+		return err
+	}
+	n := c.Size()
+	sz := count * dt.Size()
+	ex := dt.Extent()
+	for step := 0; step < n; step++ {
+		to := (c.myRank + step) % n
+		from := (c.myRank - step + n) % n
+		out := PackBuf(sendBuf[to*count*ex:], count, dt)
+		if to == c.myRank {
+			c.p.M.Compute(c.p.memTime(sz))
+			UnpackBuf(recvBuf[c.myRank*count*ex:], count, dt, out)
+			continue
+		}
+		in := make([]byte, sz)
+		rreq, err := c.irecvOn(in, c.group[from], tagAlltoall, c.collCtx())
+		if err != nil {
+			return err
+		}
+		if err := c.sendRaw(out, to, tagAlltoall, c.collCtx()); err != nil {
+			return err
+		}
+		if _, err := rreq.Wait(); err != nil {
+			return err
+		}
+		UnpackBuf(recvBuf[from*count*ex:], count, dt, in)
+	}
+	return nil
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(x_0, ..., x_r) (MPI_Scan). Linear chain.
+func (c *Comm) Scan(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) error {
+	if err := c.checkLive("Scan"); err != nil {
+		return err
+	}
+	acc := make([]byte, count*dt.Size())
+	copy(acc, PackBuf(sendBuf, count, dt))
+	c.p.M.Compute(c.p.memTime(len(acc)))
+	if c.myRank > 0 {
+		prefix := make([]byte, len(acc))
+		if _, err := c.recvRaw(prefix, c.myRank-1, tagScan, c.collCtx()); err != nil {
+			return err
+		}
+		if err := op.Apply(acc, prefix, count, dt); err != nil {
+			return err
+		}
+	}
+	if c.myRank < c.Size()-1 {
+		if err := c.sendRaw(acc, c.myRank+1, tagScan, c.collCtx()); err != nil {
+			return err
+		}
+	}
+	UnpackBuf(recvBuf, count, dt, acc)
+	return nil
+}

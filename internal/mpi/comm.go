@@ -1,0 +1,203 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"mpichmad/internal/adi"
+	"mpichmad/internal/marcel"
+	"mpichmad/internal/netsim"
+	"mpichmad/internal/vtime"
+)
+
+// Wildcards (same values as the ADI's).
+const (
+	AnySource = adi.AnySource
+	AnyTag    = adi.AnyTag
+)
+
+// Undefined is the color passed to Split by ranks that want no resulting
+// communicator (MPI_UNDEFINED).
+const Undefined = -1
+
+// Process is the per-rank MPI library state: the glue between the
+// application-facing API and the devices below, created by the cluster
+// session at MPI_Init time.
+type Process struct {
+	M   *marcel.Proc
+	Eng *adi.Engine
+
+	rank, size int
+	route      func(dstWorldRank int) adi.Device
+	devices    []adi.Device // distinct devices, for Finalize
+
+	// World is MPI_COMM_WORLD.
+	World *Comm
+
+	// nextCtx is this process's context-id allocator; agreement across
+	// ranks is established collectively at communicator creation.
+	nextCtx int
+
+	memcpyBW  float64
+	finalized bool
+}
+
+// NewProcess wires a rank's MPI state. route selects the device for each
+// destination world rank; devices lists the distinct devices for
+// Finalize-time shutdown.
+func NewProcess(m *marcel.Proc, eng *adi.Engine, rank, size int,
+	route func(int) adi.Device, devices []adi.Device) *Process {
+	p := &Process{
+		M: m, Eng: eng,
+		rank: rank, size: size,
+		route: route, devices: devices,
+		nextCtx:  2, // 0/1 are world's p2p and collective contexts
+		memcpyBW: 350 * netsim.MB,
+	}
+	group := make([]int, size)
+	for i := range group {
+		group[i] = i
+	}
+	p.World = &Comm{p: p, group: group, myRank: rank, ctx: 0}
+	return p
+}
+
+// Rank returns the world rank.
+func (p *Process) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Process) Size() int { return p.size }
+
+// memTime is the CPU cost of an n-byte local memcpy (datatype packing,
+// collective staging).
+func (p *Process) memTime(n int) vtime.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return vtime.Duration(float64(n) / p.memcpyBW * float64(vtime.Second))
+}
+
+// Finalize performs the MPI_Finalize sequence: a world barrier, then
+// device shutdown.
+func (p *Process) Finalize() error {
+	if p.finalized {
+		return fmt.Errorf("mpi: Finalize called twice on rank %d", p.rank)
+	}
+	if err := p.World.Barrier(); err != nil {
+		return err
+	}
+	p.finalized = true
+	for _, d := range p.devices {
+		d.Shutdown()
+	}
+	return nil
+}
+
+// Comm is an MPI communicator: a process group plus an isolated context.
+// Point-to-point traffic uses ctx, collectives ctx+1, mirroring MPICH's
+// paired context ids.
+type Comm struct {
+	p      *Process
+	group  []int // comm rank -> world rank
+	myRank int   // my rank within the communicator
+	ctx    int
+}
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.myRank }
+
+// Size returns the number of processes in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Context returns the communicator's point-to-point context id.
+func (c *Comm) Context() int { return c.ctx }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(r int) int { return c.group[r] }
+
+// commRankOfWorld translates a world rank back to this communicator's
+// numbering; -1 if absent.
+func (c *Comm) commRankOfWorld(w int) int {
+	for i, g := range c.group {
+		if g == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// allocContext agrees on a fresh context id across the parent
+// communicator: the max of every member's allocator (then everyone bumps
+// past it). Correct because any two communicators sharing a process can
+// never be given the same id by that process's allocator.
+func (c *Comm) allocContext() (int, error) {
+	local := Int64Bytes([]int64{int64(c.p.nextCtx)})
+	out := make([]byte, 8)
+	if err := c.Allreduce(local, out, 1, Int64, OpMax); err != nil {
+		return 0, err
+	}
+	ctx := int(BytesInt64(out)[0])
+	c.p.nextCtx = ctx + 2
+	return ctx, nil
+}
+
+// Dup creates a duplicate communicator with a fresh context
+// (MPI_Comm_dup). Collective over c.
+func (c *Comm) Dup() (*Comm, error) {
+	ctx, err := c.allocContext()
+	if err != nil {
+		return nil, err
+	}
+	g := make([]int, len(c.group))
+	copy(g, c.group)
+	return &Comm{p: c.p, group: g, myRank: c.myRank, ctx: ctx}, nil
+}
+
+// Split partitions the communicator by color, ordering each new group by
+// (key, old rank) (MPI_Comm_split). Ranks passing Undefined get nil.
+// Collective over c.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	ctx, err := c.allocContext()
+	if err != nil {
+		return nil, err
+	}
+	mine := Int64Bytes([]int64{int64(color), int64(key)})
+	all := make([]byte, 16*c.Size())
+	if err := c.Allgather(mine, all, 2, Int64); err != nil {
+		return nil, err
+	}
+	vals := BytesInt64(all)
+	if color == Undefined {
+		return nil, nil
+	}
+	type member struct{ key, oldRank int }
+	var members []member
+	for r := 0; r < c.Size(); r++ {
+		if int(vals[2*r]) == color {
+			members = append(members, member{key: int(vals[2*r+1]), oldRank: r})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].oldRank < members[j].oldRank
+	})
+	group := make([]int, len(members))
+	myNew := -1
+	for i, m := range members {
+		group[i] = c.group[m.oldRank]
+		if m.oldRank == c.myRank {
+			myNew = i
+		}
+	}
+	return &Comm{p: c.p, group: group, myRank: myNew, ctx: ctx}, nil
+}
+
+// Group returns a copy of the communicator's world-rank membership
+// (MPI_Comm_group).
+func (c *Comm) Group() []int {
+	g := make([]int, len(c.group))
+	copy(g, c.group)
+	return g
+}

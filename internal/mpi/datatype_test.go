@@ -1,0 +1,268 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicTypes(t *testing.T) {
+	cases := []struct {
+		dt   Datatype
+		size int
+	}{
+		{Byte, 1}, {Char, 1}, {Int32, 4}, {Int64, 8}, {Float32, 4}, {Float64, 8},
+	}
+	for _, c := range cases {
+		if c.dt.Size() != c.size || c.dt.Extent() != c.size {
+			t.Errorf("%s: size=%d extent=%d, want %d", c.dt.Name(), c.dt.Size(), c.dt.Extent(), c.size)
+		}
+		if !IsContiguous(c.dt) {
+			t.Errorf("%s should be contiguous", c.dt.Name())
+		}
+	}
+}
+
+func TestContiguousPackIsAliasing(t *testing.T) {
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	out := PackBuf(buf, 2, Int32)
+	if &out[0] != &buf[0] {
+		t.Fatal("contiguous pack must not copy")
+	}
+	if len(out) != 8 {
+		t.Fatalf("len = %d", len(out))
+	}
+}
+
+func TestVectorRoundtrip(t *testing.T) {
+	// A 4x4 matrix of int32; pick column 1 via a vector type.
+	mat := make([]byte, 16*4)
+	for i := 0; i < 16; i++ {
+		mat[4*i] = byte(i)
+	}
+	col := Vector(4, 1, 4, Int32) // 4 blocks of 1 element, stride 4
+	if col.Size() != 16 || col.Extent() != 13*4 {
+		t.Fatalf("size=%d extent=%d", col.Size(), col.Extent())
+	}
+	packed := PackBuf(mat[4:], 1, col) // start at column 1
+	want := []byte{1, 5, 9, 13}
+	for i, w := range want {
+		if packed[4*i] != w {
+			t.Fatalf("packed col = % x", packed)
+		}
+	}
+	// Unpack into a fresh matrix: only the column cells change.
+	out := make([]byte, 16*4)
+	UnpackBuf(out[4:], 1, col, packed)
+	for i, w := range want {
+		if out[4*(4*i+1)] != w {
+			t.Fatalf("unpacked col wrong at row %d", i)
+		}
+	}
+}
+
+func TestIndexedRoundtrip(t *testing.T) {
+	src := make([]byte, 40)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dt := Indexed([]int{2, 1, 3}, []int{0, 4, 6}, Int32)
+	if dt.Size() != 6*4 {
+		t.Fatalf("size = %d", dt.Size())
+	}
+	if dt.Extent() != 9*4 {
+		t.Fatalf("extent = %d", dt.Extent())
+	}
+	packed := PackBuf(src, 1, dt)
+	out := make([]byte, 40)
+	UnpackBuf(out, 1, dt, packed)
+	// Elements 0,1,4,6,7,8 must match; others zero.
+	for _, e := range []int{0, 1, 4, 6, 7, 8} {
+		if !bytes.Equal(out[4*e:4*e+4], src[4*e:4*e+4]) {
+			t.Fatalf("element %d lost", e)
+		}
+	}
+	if out[4*2] != 0 || out[4*3] != 0 || out[4*5] != 0 {
+		t.Fatal("untouched elements were written")
+	}
+}
+
+func TestStructRoundtrip(t *testing.T) {
+	// struct { a [3]byte; pad [5]byte; b [8]byte } with extent 16.
+	dt := Struct(16, []StructField{{Disp: 0, Len: 3}, {Disp: 8, Len: 8}})
+	if dt.Size() != 11 || dt.Extent() != 16 {
+		t.Fatalf("size=%d extent=%d", dt.Size(), dt.Extent())
+	}
+	src := make([]byte, 32)
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	packed := PackBuf(src, 2, dt)
+	if len(packed) != 22 {
+		t.Fatalf("packed len = %d", len(packed))
+	}
+	out := make([]byte, 32)
+	UnpackBuf(out, 2, dt, packed)
+	for _, i := range []int{0, 1, 2, 8, 9, 15, 16, 17, 24, 31} {
+		if out[i] != src[i] {
+			t.Fatalf("byte %d lost", i)
+		}
+	}
+	if out[3] != 0 || out[20] != 0 {
+		t.Fatal("padding written")
+	}
+}
+
+func TestContiguousOfVector(t *testing.T) {
+	inner := Vector(2, 1, 2, Int32)
+	dt := Contiguous(3, inner)
+	if dt.Size() != 3*8 {
+		t.Fatalf("size=%d", dt.Size())
+	}
+	src := make([]byte, dt.Extent())
+	for i := range src {
+		src[i] = byte(i)
+	}
+	packed := PackBuf(src, 1, dt)
+	out := make([]byte, dt.Extent())
+	UnpackBuf(out, 1, dt, packed)
+	repacked := PackBuf(out, 1, dt)
+	if !bytes.Equal(packed, repacked) {
+		t.Fatal("nested datatype roundtrip failed")
+	}
+}
+
+func TestTypedHelpers(t *testing.T) {
+	i32 := []int32{-1, 0, 1 << 30}
+	if got := BytesInt32(Int32Bytes(i32)); got[0] != -1 || got[2] != 1<<30 {
+		t.Fatalf("int32 roundtrip: %v", got)
+	}
+	i64 := []int64{-1 << 62, 42}
+	if got := BytesInt64(Int64Bytes(i64)); got[0] != -1<<62 || got[1] != 42 {
+		t.Fatalf("int64 roundtrip: %v", got)
+	}
+	f := []float64{3.14159, -2.5e300}
+	if got := BytesFloat64(Float64Bytes(f)); got[0] != 3.14159 || got[1] != -2.5e300 {
+		t.Fatalf("float64 roundtrip: %v", got)
+	}
+}
+
+// Property: pack/unpack of any vector type is lossless on the selected
+// elements.
+func TestVectorPackProperty(t *testing.T) {
+	f := func(count, blocklen, strideExtra uint8, seed uint8) bool {
+		cnt := int(count%5) + 1
+		bl := int(blocklen%4) + 1
+		stride := bl + int(strideExtra%4)
+		dt := Vector(cnt, bl, stride, Int32)
+		src := make([]byte, dt.Extent()+16)
+		for i := range src {
+			src[i] = byte(int(seed) + i*7)
+		}
+		packed := PackBuf(src, 1, dt)
+		out := make([]byte, len(src))
+		UnpackBuf(out, 1, dt, packed)
+		repacked := PackBuf(out, 1, dt)
+		return bytes.Equal(packed, repacked)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OpSum/OpMax over int64 agree with direct arithmetic and are
+// commutative.
+func TestOpsProperty(t *testing.T) {
+	f := func(a, b []int64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		a, b = a[:n], b[:n]
+		x := Int64Bytes(a)
+		y := Int64Bytes(b)
+		if err := OpSum.Apply(x, y, n, Int64); err != nil {
+			return false
+		}
+		got := BytesInt64(x)
+		for i := range got {
+			if got[i] != a[i]+b[i] {
+				return false
+			}
+		}
+		// Commutativity of max.
+		p, q := Int64Bytes(a), Int64Bytes(b)
+		OpMax.Apply(p, Int64Bytes(b), n, Int64)
+		OpMax.Apply(q, Int64Bytes(a), n, Int64)
+		return bytes.Equal(p, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpsOnFloats(t *testing.T) {
+	a := Float64Bytes([]float64{1.5, -2, 10})
+	b := Float64Bytes([]float64{2, 3, -5})
+	if err := OpProd.Apply(a, b, 3, Float64); err != nil {
+		t.Fatal(err)
+	}
+	got := BytesFloat64(a)
+	want := []float64{3, -6, -50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prod = %v", got)
+		}
+	}
+	c := Float64Bytes([]float64{1, 5})
+	if err := OpMin.Apply(c, Float64Bytes([]float64{2, 4}), 2, Float64); err != nil {
+		t.Fatal(err)
+	}
+	if g := BytesFloat64(c); g[0] != 1 || g[1] != 4 {
+		t.Fatalf("min = %v", g)
+	}
+}
+
+func TestOpsBitwiseAndLogical(t *testing.T) {
+	a := Int32Bytes([]int32{0b1100, 1})
+	if err := OpBAnd.Apply(a, Int32Bytes([]int32{0b1010, 0}), 2, Int32); err != nil {
+		t.Fatal(err)
+	}
+	if g := BytesInt32(a); g[0] != 0b1000 || g[1] != 0 {
+		t.Fatalf("band = %v", g)
+	}
+	b := Int32Bytes([]int32{0b1100})
+	OpBOr.Apply(b, Int32Bytes([]int32{0b0011}), 1, Int32)
+	if BytesInt32(b)[0] != 0b1111 {
+		t.Fatal("bor")
+	}
+	x := Int64Bytes([]int64{1, 0, 7})
+	OpLAnd.Apply(x, Int64Bytes([]int64{1, 1, 0}), 3, Int64)
+	if g := BytesInt64(x); g[0] != 1 || g[1] != 0 || g[2] != 0 {
+		t.Fatalf("land = %v", g)
+	}
+	y := Int64Bytes([]int64{0, 0})
+	OpLOr.Apply(y, Int64Bytes([]int64{0, 3}), 2, Int64)
+	if g := BytesInt64(y); g[0] != 0 || g[1] != 1 {
+		t.Fatalf("lor = %v", g)
+	}
+}
+
+func TestOpsRejectBadTypes(t *testing.T) {
+	if err := OpSum.Apply(nil, nil, 0, Struct(4, nil)); err == nil {
+		t.Fatal("sum on struct accepted")
+	}
+	if err := OpBAnd.Apply(nil, nil, 0, Float64); err == nil {
+		t.Fatal("band on float accepted")
+	}
+}
+
+func TestStatusCount(t *testing.T) {
+	st := &Status{Bytes: 24}
+	if st.Count(Float64) != 3 || st.Count(Int32) != 6 || st.Count(Byte) != 24 {
+		t.Fatal("Count wrong")
+	}
+}

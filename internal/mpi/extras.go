@@ -1,0 +1,189 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpichmad/internal/adi"
+	"mpichmad/internal/vtime"
+)
+
+// Now returns the current virtual time of this process's simulation —
+// the reproduction's MPI_Wtime.
+func (p *Process) Now() vtime.Time { return p.M.S.Now() }
+
+// Ssend performs a synchronous-mode send (MPI_Ssend): it completes only
+// after the receiver has matched the message. The devices implement it by
+// forcing the rendez-vous transfer mode regardless of size.
+func (c *Comm) Ssend(buf []byte, count int, dt Datatype, dest, tag int) error {
+	if err := c.checkLive("Ssend"); err != nil {
+		return err
+	}
+	if err := c.checkPeer("Ssend", dest); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: Ssend: negative tag %d", tag)
+	}
+	data := PackBuf(buf, count, dt)
+	if !IsContiguous(dt) {
+		c.p.M.Compute(c.p.memTime(len(data)))
+	}
+	dstWorld := c.group[dest]
+	sr := &adi.SendReq{
+		Env:  adi.Envelope{Src: c.p.rank, Tag: tag, Context: c.ctx, Len: len(data)},
+		Dst:  dstWorld,
+		Data: data,
+		Sync: true,
+		Done: vtime.NewEvent(c.p.M.S, "mpi.ssend"),
+	}
+	dev := c.p.route(dstWorld)
+	if dev == nil {
+		return fmt.Errorf("mpi: no device for destination world rank %d", dstWorld)
+	}
+	dev.Send(sr)
+	sr.Done.Wait()
+	return sr.Err
+}
+
+// WaitAny blocks until at least one request completes and returns its
+// index (MPI_Waitany). Completed requests are finalized lazily via Wait.
+func WaitAny(reqs ...*Request) (int, *Status, error) {
+	if len(reqs) == 0 {
+		return -1, nil, fmt.Errorf("mpi: WaitAny with no requests")
+	}
+	p := reqs[0].c.p
+	for {
+		for i, r := range reqs {
+			done, st, err := r.Test()
+			if done {
+				return i, st, err
+			}
+		}
+		// No completion yet: let virtual time advance. The 1 us poll
+		// period mirrors MPICH's aggressive request polling.
+		p.M.Sleep(vtime.Microsecond)
+	}
+}
+
+// Allgatherv gathers variable-sized contributions from every rank into
+// every rank's recvBuf (MPI_Allgatherv). counts/displs are in elements;
+// nil displs means dense rank order.
+func (c *Comm) Allgatherv(sendBuf []byte, sendCount int, recvBuf []byte, counts, displs []int, dt Datatype) error {
+	if err := c.checkLive("Allgatherv"); err != nil {
+		return err
+	}
+	if len(counts) != c.Size() {
+		return fmt.Errorf("mpi: Allgatherv: %d counts for %d ranks", len(counts), c.Size())
+	}
+	if err := c.Gatherv(sendBuf, sendCount, recvBuf, counts, displs, dt, 0); err != nil {
+		return err
+	}
+	total := 0
+	if displs == nil {
+		for _, n := range counts {
+			total += n
+		}
+	} else {
+		for i, n := range counts {
+			if e := displs[i] + n; e > total {
+				total = e
+			}
+		}
+	}
+	return c.Bcast(recvBuf, total, dt, 0)
+}
+
+// ReduceScatter combines count-per-rank blocks with op and scatters block
+// r to rank r (MPI_Reduce_scatter with equal counts).
+func (c *Comm) ReduceScatter(sendBuf, recvBuf []byte, countPerRank int, dt Datatype, op Op) error {
+	if err := c.checkLive("ReduceScatter"); err != nil {
+		return err
+	}
+	n := c.Size()
+	total := countPerRank * n
+	var full []byte
+	if c.myRank == 0 {
+		full = make([]byte, total*dt.Extent())
+	}
+	if err := c.Reduce(sendBuf, full, total, dt, op, 0); err != nil {
+		return err
+	}
+	counts := make([]int, n)
+	for i := range counts {
+		counts[i] = countPerRank
+	}
+	return c.Scatterv(full, counts, nil, recvBuf, countPerRank, dt, 0)
+}
+
+// Cart is a Cartesian process topology over a communicator
+// (MPI_Cart_create and friends), the natural fit for the stencil
+// workloads the paper's clusters ran.
+type Cart struct {
+	Comm     *Comm
+	Dims     []int
+	Periodic []bool
+}
+
+// CartCreate builds a row-major Cartesian topology. The product of dims
+// must equal the communicator size.
+func CartCreate(comm *Comm, dims []int, periodic []bool) (*Cart, error) {
+	if len(dims) != len(periodic) {
+		return nil, fmt.Errorf("mpi: CartCreate: %d dims, %d periodic flags", len(dims), len(periodic))
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("mpi: CartCreate: non-positive dimension %d", d)
+		}
+		n *= d
+	}
+	if n != comm.Size() {
+		return nil, fmt.Errorf("mpi: CartCreate: grid %d != communicator size %d", n, comm.Size())
+	}
+	return &Cart{
+		Comm:     comm,
+		Dims:     append([]int(nil), dims...),
+		Periodic: append([]bool(nil), periodic...),
+	}, nil
+}
+
+// Coords returns the Cartesian coordinates of a rank (MPI_Cart_coords).
+func (ct *Cart) Coords(rank int) []int {
+	coords := make([]int, len(ct.Dims))
+	for i := len(ct.Dims) - 1; i >= 0; i-- {
+		coords[i] = rank % ct.Dims[i]
+		rank /= ct.Dims[i]
+	}
+	return coords
+}
+
+// RankOf returns the rank at the given coordinates, applying periodic
+// wraparound; ok=false if a non-periodic coordinate falls off the grid
+// (MPI_Cart_rank / MPI_PROC_NULL).
+func (ct *Cart) RankOf(coords []int) (int, bool) {
+	rank := 0
+	for i, c := range coords {
+		d := ct.Dims[i]
+		if c < 0 || c >= d {
+			if !ct.Periodic[i] {
+				return -1, false
+			}
+			c = ((c % d) + d) % d
+		}
+		rank = rank*d + c
+	}
+	return rank, true
+}
+
+// Shift returns the source and destination ranks for a displacement along
+// one dimension (MPI_Cart_shift); ok=false mirrors MPI_PROC_NULL.
+func (ct *Cart) Shift(dim, disp int) (src, dst int, srcOK, dstOK bool) {
+	me := ct.Coords(ct.Comm.Rank())
+	up := append([]int(nil), me...)
+	up[dim] += disp
+	down := append([]int(nil), me...)
+	down[dim] -= disp
+	dst, dstOK = ct.RankOf(up)
+	src, srcOK = ct.RankOf(down)
+	return src, dst, srcOK, dstOK
+}

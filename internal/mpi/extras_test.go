@@ -1,0 +1,53 @@
+package mpi
+
+import "testing"
+
+func TestCartCoordsRankRoundtrip(t *testing.T) {
+	c := &Cart{Dims: []int{3, 4}, Periodic: []bool{false, true}}
+	for r := 0; r < 12; r++ {
+		coords := c.Coords(r)
+		back, ok := c.RankOf(coords)
+		if !ok || back != r {
+			t.Fatalf("rank %d -> %v -> %d (ok=%v)", r, coords, back, ok)
+		}
+	}
+	// Row-major: rank = x*4 + y.
+	if got := c.Coords(7); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Coords(7) = %v", got)
+	}
+}
+
+func TestCartPeriodicWrap(t *testing.T) {
+	c := &Cart{Dims: []int{3, 4}, Periodic: []bool{false, true}}
+	// Off-grid on the periodic dimension wraps.
+	if r, ok := c.RankOf([]int{1, -1}); !ok || r != 1*4+3 {
+		t.Fatalf("periodic wrap: (%d,%v)", r, ok)
+	}
+	// Off-grid on the non-periodic dimension is PROC_NULL.
+	if _, ok := c.RankOf([]int{-1, 0}); ok {
+		t.Fatal("non-periodic edge should be null")
+	}
+	if _, ok := c.RankOf([]int{3, 0}); ok {
+		t.Fatal("non-periodic overflow should be null")
+	}
+}
+
+func TestCartCreateValidation(t *testing.T) {
+	comm := &Comm{group: make([]int, 12)}
+	if _, err := CartCreate(comm, []int{3, 4}, []bool{true}); err == nil {
+		t.Error("mismatched periodic length accepted")
+	}
+	if _, err := CartCreate(comm, []int{3, 5}, []bool{true, true}); err == nil {
+		t.Error("wrong grid volume accepted")
+	}
+	if _, err := CartCreate(comm, []int{0, 4}, []bool{true, true}); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	ct, err := CartCreate(comm, []int{3, 4}, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.Dims) != 2 {
+		t.Fatal("dims lost")
+	}
+}

@@ -1,0 +1,173 @@
+package mpi_test
+
+// Property-based tests of the collective operations: for random rank
+// counts, payloads and operations, the distributed result must equal a
+// naive sequential reference computed from the same inputs.
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mpichmad/internal/cluster"
+	"mpichmad/internal/mpi"
+)
+
+// TestAllreduceMatchesReference: Allreduce(op) over random int64 vectors
+// equals the sequential fold, for every rank count 2..6 and op.
+func TestAllreduceMatchesReference(t *testing.T) {
+	ops := []mpi.Op{mpi.OpSum, mpi.OpMax, mpi.OpMin, mpi.OpProd}
+	f := func(seed uint8, nRanks, opIdx, length uint8) bool {
+		n := int(nRanks%5) + 2
+		op := ops[int(opIdx)%len(ops)]
+		cnt := int(length%6) + 1
+
+		// Deterministic per-rank inputs derived from the seed.
+		input := func(rank int) []int64 {
+			v := make([]int64, cnt)
+			for i := range v {
+				// Small values keep OpProd in range.
+				v[i] = int64((int(seed)+rank*7+i*3)%7) - 3
+			}
+			return v
+		}
+		// Sequential reference.
+		ref := mpi.Int64Bytes(input(0))
+		for r := 1; r < n; r++ {
+			if err := op.Apply(ref, mpi.Int64Bytes(input(r)), cnt, mpi.Int64); err != nil {
+				t.Error(err)
+				return false
+			}
+		}
+		want := mpi.BytesInt64(ref)
+
+		ok := true
+		_, err := cluster.Launch(nNodeTopo(n, "sisci"), func(rank int, comm *mpi.Comm) error {
+			out := make([]byte, 8*cnt)
+			if err := comm.Allreduce(mpi.Int64Bytes(input(rank)), out, cnt, mpi.Int64, op); err != nil {
+				return err
+			}
+			got := mpi.BytesInt64(out)
+			for i := range want {
+				if got[i] != want[i] {
+					ok = false
+					return fmt.Errorf("rank %d: %s[%d] = %d, want %d", rank, op.Name(), i, got[i], want[i])
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanMatchesReference: inclusive prefix sums equal the sequential
+// prefix for random inputs.
+func TestScanMatchesReference(t *testing.T) {
+	f := func(seed uint8, nRanks uint8) bool {
+		n := int(nRanks%5) + 2
+		val := func(rank int) int64 { return int64((int(seed) + rank*13) % 100) }
+		_, err := cluster.Launch(nNodeTopo(n, "bip"), func(rank int, comm *mpi.Comm) error {
+			out := make([]byte, 8)
+			if err := comm.Scan(mpi.Int64Bytes([]int64{val(rank)}), out, 1, mpi.Int64, mpi.OpSum); err != nil {
+				return err
+			}
+			var want int64
+			for r := 0; r <= rank; r++ {
+				want += val(r)
+			}
+			if got := mpi.BytesInt64(out)[0]; got != want {
+				return fmt.Errorf("rank %d: scan = %d, want %d", rank, got, want)
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBcastGatherRoundtripProperty: Bcast then Gather over random payloads
+// and roots is the identity on the data.
+func TestBcastGatherRoundtripProperty(t *testing.T) {
+	f := func(seed uint8, nRanks, rootSel, size uint8) bool {
+		n := int(nRanks%5) + 2
+		root := int(rootSel) % n
+		sz := int(size)%300 + 1
+		_, err := cluster.Launch(nNodeTopo(n, "tcp"), func(rank int, comm *mpi.Comm) error {
+			buf := make([]byte, sz)
+			if rank == root {
+				for i := range buf {
+					buf[i] = byte(int(seed) + i)
+				}
+			}
+			if err := comm.Bcast(buf, sz, mpi.Byte, root); err != nil {
+				return err
+			}
+			for i := range buf {
+				if buf[i] != byte(int(seed)+i) {
+					return fmt.Errorf("rank %d: bcast byte %d wrong", rank, i)
+				}
+			}
+			// Everyone contributes (rank ^ payload) bytes; root checks.
+			mine := make([]byte, sz)
+			for i := range mine {
+				mine[i] = buf[i] ^ byte(rank)
+			}
+			gat := make([]byte, sz*n)
+			if err := comm.Gather(mine, gat, sz, mpi.Byte, root); err != nil {
+				return err
+			}
+			if rank == root {
+				for r := 0; r < n; r++ {
+					for i := 0; i < sz; i++ {
+						if gat[r*sz+i] != byte(int(seed)+i)^byte(r) {
+							return fmt.Errorf("gather block %d byte %d wrong", r, i)
+						}
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlltoallInverseProperty: Alltoall applied twice with transposed
+// writes restores the original matrix row.
+func TestAlltoallInverseProperty(t *testing.T) {
+	f := func(seed uint8, nRanks uint8) bool {
+		n := int(nRanks%4) + 2
+		_, err := cluster.Launch(nNodeTopo(n, "sisci"), func(rank int, comm *mpi.Comm) error {
+			orig := make([]int64, n)
+			for k := range orig {
+				orig[k] = int64(int(seed) + rank*n + k)
+			}
+			first := make([]byte, 8*n)
+			if err := comm.Alltoall(mpi.Int64Bytes(orig), first, 1, mpi.Int64); err != nil {
+				return err
+			}
+			second := make([]byte, 8*n)
+			if err := comm.Alltoall(first, second, 1, mpi.Int64); err != nil {
+				return err
+			}
+			got := mpi.BytesInt64(second)
+			for k := range orig {
+				if got[k] != orig[k] {
+					return fmt.Errorf("rank %d: alltoall^2 not identity at %d", rank, k)
+				}
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Op is a reduction operation over packed element buffers: it folds src
+// into dst element-wise (dst = dst OP src), interpreting bytes per the
+// datatype. All predefined ops are commutative and associative.
+type Op interface {
+	Name() string
+	// Apply folds count elements of dt from src into dst in place.
+	Apply(dst, src []byte, count int, dt Datatype) error
+}
+
+// Predefined reduction operations.
+var (
+	OpSum  Op = numericOp{"MPI_SUM", addI, addF}
+	OpProd Op = numericOp{"MPI_PROD", mulI, mulF}
+	OpMin  Op = numericOp{"MPI_MIN", minI, minF}
+	OpMax  Op = numericOp{"MPI_MAX", maxI, maxF}
+	OpBAnd Op = bitOp{"MPI_BAND", func(a, b byte) byte { return a & b }}
+	OpBOr  Op = bitOp{"MPI_BOR", func(a, b byte) byte { return a | b }}
+	OpBXor Op = bitOp{"MPI_BXOR", func(a, b byte) byte { return a ^ b }}
+	OpLAnd Op = numericOp{"MPI_LAND", func(a, b int64) int64 { return b2i(a != 0 && b != 0) },
+		func(a, b float64) float64 { return fb2i(a != 0 && b != 0) }}
+	OpLOr Op = numericOp{"MPI_LOR", func(a, b int64) int64 { return b2i(a != 0 || b != 0) },
+		func(a, b float64) float64 { return fb2i(a != 0 || b != 0) }}
+)
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fb2i(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func addI(a, b int64) int64 { return a + b }
+func mulI(a, b int64) int64 { return a * b }
+func minI(a, b int64) int64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+func maxI(a, b int64) int64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+func addF(a, b float64) float64 { return a + b }
+func mulF(a, b float64) float64 { return a * b }
+func minF(a, b float64) float64 { return math.Min(a, b) }
+func maxF(a, b float64) float64 { return math.Max(a, b) }
+
+// numericOp dispatches on the datatype's machine representation.
+type numericOp struct {
+	name string
+	fi   func(a, b int64) int64
+	ff   func(a, b float64) float64
+}
+
+func (o numericOp) Name() string { return o.name }
+
+func (o numericOp) Apply(dst, src []byte, count int, dt Datatype) error {
+	le := binary.LittleEndian
+	switch dt {
+	case Int32:
+		for i := 0; i < count; i++ {
+			a := int64(int32(le.Uint32(dst[4*i:])))
+			b := int64(int32(le.Uint32(src[4*i:])))
+			le.PutUint32(dst[4*i:], uint32(int32(o.fi(a, b))))
+		}
+	case Int64:
+		for i := 0; i < count; i++ {
+			a := int64(le.Uint64(dst[8*i:]))
+			b := int64(le.Uint64(src[8*i:]))
+			le.PutUint64(dst[8*i:], uint64(o.fi(a, b)))
+		}
+	case Byte, Char:
+		for i := 0; i < count; i++ {
+			dst[i] = byte(o.fi(int64(dst[i]), int64(src[i])))
+		}
+	case Float32:
+		for i := 0; i < count; i++ {
+			a := float64(math.Float32frombits(le.Uint32(dst[4*i:])))
+			b := float64(math.Float32frombits(le.Uint32(src[4*i:])))
+			le.PutUint32(dst[4*i:], math.Float32bits(float32(o.ff(a, b))))
+		}
+	case Float64:
+		for i := 0; i < count; i++ {
+			a := math.Float64frombits(le.Uint64(dst[8*i:]))
+			b := math.Float64frombits(le.Uint64(src[8*i:]))
+			le.PutUint64(dst[8*i:], math.Float64bits(o.ff(a, b)))
+		}
+	default:
+		return fmt.Errorf("mpi: %s not defined for datatype %s", o.name, dt.Name())
+	}
+	return nil
+}
+
+// bitOp applies a bytewise boolean function (valid for integer types).
+type bitOp struct {
+	name string
+	f    func(a, b byte) byte
+}
+
+func (o bitOp) Name() string { return o.name }
+
+func (o bitOp) Apply(dst, src []byte, count int, dt Datatype) error {
+	switch dt {
+	case Int32, Int64, Byte, Char:
+		n := count * dt.Size()
+		for i := 0; i < n; i++ {
+			dst[i] = o.f(dst[i], src[i])
+		}
+		return nil
+	default:
+		return fmt.Errorf("mpi: %s not defined for datatype %s", o.name, dt.Name())
+	}
+}

@@ -1,0 +1,320 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpichmad/internal/adi"
+	"mpichmad/internal/vtime"
+)
+
+// Status reports a completed receive, with Source in communicator ranks.
+type Status struct {
+	Source int
+	Tag    int
+	// Bytes is the received payload size; Count(dt) derives elements.
+	Bytes int
+}
+
+// Count returns the number of dt elements received.
+func (s *Status) Count(dt Datatype) int {
+	if dt.Size() == 0 {
+		return 0
+	}
+	return s.Bytes / dt.Size()
+}
+
+// Request is a non-blocking operation handle (MPI_Request).
+type Request struct {
+	c  *Comm
+	sr *adi.SendReq
+	rr *adi.RecvReq
+	// finish runs once at completion (derived-type unpack).
+	finish   func()
+	finished bool
+	status   *Status
+	err      error
+}
+
+func (c *Comm) checkLive(op string) error {
+	if c == nil {
+		return fmt.Errorf("mpi: %s on nil communicator", op)
+	}
+	if c.p.finalized {
+		return fmt.Errorf("mpi: %s after Finalize", op)
+	}
+	return nil
+}
+
+func (c *Comm) checkPeer(op string, r int) error {
+	if r < 0 || r >= len(c.group) {
+		return fmt.Errorf("mpi: %s: rank %d out of range [0,%d)", op, r, len(c.group))
+	}
+	return nil
+}
+
+// sendRaw transmits packed bytes on an explicit context. Blocking: it
+// returns when the send is locally complete.
+func (c *Comm) sendRaw(data []byte, dest, tag, ctx int) error {
+	dstWorld := c.group[dest]
+	sr := &adi.SendReq{
+		Env:  adi.Envelope{Src: c.p.rank, Tag: tag, Context: ctx, Len: len(data)},
+		Dst:  dstWorld,
+		Data: data,
+		Done: vtime.NewEvent(c.p.M.S, "mpi.send"),
+	}
+	dev := c.p.route(dstWorld)
+	if dev == nil {
+		return fmt.Errorf("mpi: no device for destination world rank %d", dstWorld)
+	}
+	dev.Send(sr)
+	sr.Done.Wait()
+	return sr.Err
+}
+
+// irecvOn posts a raw non-blocking receive with an explicit world source
+// and context (collective internals).
+func (c *Comm) irecvOn(buf []byte, worldSrc, tag, ctx int) (*Request, error) {
+	rr := &adi.RecvReq{
+		Src: worldSrc, Tag: tag, Context: ctx,
+		Buf:  buf,
+		Done: vtime.NewEvent(c.p.M.S, "mpi.irecvraw"),
+	}
+	c.p.Eng.PostRecv(rr)
+	return &Request{c: c, rr: rr}, nil
+}
+
+// recvRaw posts and completes a receive of packed bytes on an explicit
+// context; src/tag in communicator terms (wildcards allowed).
+func (c *Comm) recvRaw(buf []byte, src, tag, ctx int) (*Status, error) {
+	worldSrc := adi.AnySource
+	if src != AnySource {
+		worldSrc = c.group[src]
+	}
+	rr := &adi.RecvReq{
+		Src: worldSrc, Tag: tag, Context: ctx,
+		Buf:  buf,
+		Done: vtime.NewEvent(c.p.M.S, "mpi.recv"),
+	}
+	c.p.Eng.PostRecv(rr)
+	rr.Done.Wait()
+	st := c.statusOf(rr)
+	return st, rr.Err
+}
+
+func (c *Comm) statusOf(rr *adi.RecvReq) *Status {
+	n := rr.Status.Len
+	if n > len(rr.Buf) {
+		n = len(rr.Buf)
+	}
+	return &Status{
+		Source: c.commRankOfWorld(rr.Status.Source),
+		Tag:    rr.Status.Tag,
+		Bytes:  n,
+	}
+}
+
+// Send performs a blocking standard-mode send (MPI_Send): it returns when
+// the buffer is reusable. Eager sends complete locally; rendez-vous sends
+// complete when the receiver's acknowledgement round-trip finishes.
+func (c *Comm) Send(buf []byte, count int, dt Datatype, dest, tag int) error {
+	if err := c.checkLive("Send"); err != nil {
+		return err
+	}
+	if err := c.checkPeer("Send", dest); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: Send: negative tag %d", tag)
+	}
+	data := PackBuf(buf, count, dt)
+	if !IsContiguous(dt) {
+		c.p.M.Compute(c.p.memTime(len(data)))
+	}
+	return c.sendRaw(data, dest, tag, c.ctx)
+}
+
+// Isend starts a non-blocking send (MPI_Isend). Per the paper (§4.2.3),
+// "the MPI control thread creates a thread for each non-blocking send
+// operation": the blocking device send runs on a temporary Marcel thread.
+func (c *Comm) Isend(buf []byte, count int, dt Datatype, dest, tag int) (*Request, error) {
+	if err := c.checkLive("Isend"); err != nil {
+		return nil, err
+	}
+	if err := c.checkPeer("Isend", dest); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: Isend: negative tag %d", tag)
+	}
+	data := PackBuf(buf, count, dt)
+	if !IsContiguous(dt) {
+		c.p.M.Compute(c.p.memTime(len(data)))
+	}
+	dstWorld := c.group[dest]
+	sr := &adi.SendReq{
+		Env:  adi.Envelope{Src: c.p.rank, Tag: tag, Context: c.ctx, Len: len(data)},
+		Dst:  dstWorld,
+		Data: data,
+		Done: vtime.NewEvent(c.p.M.S, "mpi.isend"),
+	}
+	dev := c.p.route(dstWorld)
+	if dev == nil {
+		return nil, fmt.Errorf("mpi: no device for destination world rank %d", dstWorld)
+	}
+	c.p.M.Spawn("mpi.isend", func() { dev.Send(sr) })
+	return &Request{c: c, sr: sr}, nil
+}
+
+// Recv performs a blocking receive (MPI_Recv). src may be AnySource, tag
+// may be AnyTag.
+func (c *Comm) Recv(buf []byte, count int, dt Datatype, src, tag int) (*Status, error) {
+	req, err := c.Irecv(buf, count, dt, src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return req.Wait()
+}
+
+// Irecv starts a non-blocking receive (MPI_Irecv).
+func (c *Comm) Irecv(buf []byte, count int, dt Datatype, src, tag int) (*Request, error) {
+	if err := c.checkLive("Irecv"); err != nil {
+		return nil, err
+	}
+	if src != AnySource {
+		if err := c.checkPeer("Irecv", src); err != nil {
+			return nil, err
+		}
+	}
+	worldSrc := adi.AnySource
+	if src != AnySource {
+		worldSrc = c.group[src]
+	}
+	need := count * dt.Size()
+	landing := buf
+	var finish func()
+	if !IsContiguous(dt) {
+		tmp := make([]byte, need)
+		landing = tmp
+		finish = func() {
+			c.p.M.Compute(c.p.memTime(need))
+			UnpackBuf(buf, count, dt, tmp)
+		}
+	} else {
+		landing = buf[:need]
+	}
+	rr := &adi.RecvReq{
+		Src: worldSrc, Tag: tag, Context: c.ctx,
+		Buf:  landing,
+		Done: vtime.NewEvent(c.p.M.S, "mpi.irecv"),
+	}
+	c.p.Eng.PostRecv(rr)
+	return &Request{c: c, rr: rr, finish: finish}, nil
+}
+
+// Wait blocks until the request completes (MPI_Wait), returning the
+// receive status (nil for sends).
+func (r *Request) Wait() (*Status, error) {
+	if r.finished {
+		return r.status, r.err
+	}
+	switch {
+	case r.sr != nil:
+		r.sr.Done.Wait()
+		r.err = r.sr.Err
+	case r.rr != nil:
+		r.rr.Done.Wait()
+		r.err = r.rr.Err
+		if r.finish != nil {
+			r.finish()
+		}
+		r.status = r.c.statusOf(r.rr)
+	}
+	r.finished = true
+	return r.status, r.err
+}
+
+// Test polls for completion without blocking (MPI_Test).
+func (r *Request) Test() (done bool, st *Status, err error) {
+	if r.finished {
+		return true, r.status, r.err
+	}
+	ev := r.doneEvent()
+	if !ev.Fired() {
+		return false, nil, nil
+	}
+	st, err = r.Wait()
+	return true, st, err
+}
+
+func (r *Request) doneEvent() *vtime.Event {
+	if r.sr != nil {
+		return r.sr.Done
+	}
+	return r.rr.Done
+}
+
+// WaitAll completes every request (MPI_Waitall), returning the first
+// error encountered.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Sendrecv exchanges messages with (possibly different) partners without
+// deadlock (MPI_Sendrecv).
+func (c *Comm) Sendrecv(sendBuf []byte, sendCount int, sendDT Datatype, dest, sendTag int,
+	recvBuf []byte, recvCount int, recvDT Datatype, src, recvTag int) (*Status, error) {
+	rreq, err := c.Irecv(recvBuf, recvCount, recvDT, src, recvTag)
+	if err != nil {
+		return nil, err
+	}
+	sreq, err := c.Isend(sendBuf, sendCount, sendDT, dest, sendTag)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sreq.Wait(); err != nil {
+		return nil, err
+	}
+	return rreq.Wait()
+}
+
+// Probe blocks until a matching message is available without receiving it
+// (MPI_Probe).
+func (c *Comm) Probe(src, tag int) (*Status, error) {
+	if err := c.checkLive("Probe"); err != nil {
+		return nil, err
+	}
+	worldSrc := adi.AnySource
+	if src != AnySource {
+		if err := c.checkPeer("Probe", src); err != nil {
+			return nil, err
+		}
+		worldSrc = c.group[src]
+	}
+	env := c.p.Eng.WaitUnexpected(worldSrc, tag, c.ctx)
+	return &Status{Source: c.commRankOfWorld(env.Src), Tag: env.Tag, Bytes: env.Len}, nil
+}
+
+// Iprobe checks for a matching message without blocking (MPI_Iprobe).
+func (c *Comm) Iprobe(src, tag int) (bool, *Status, error) {
+	if err := c.checkLive("Iprobe"); err != nil {
+		return false, nil, err
+	}
+	worldSrc := adi.AnySource
+	if src != AnySource {
+		if err := c.checkPeer("Iprobe", src); err != nil {
+			return false, nil, err
+		}
+		worldSrc = c.group[src]
+	}
+	env, ok := c.p.Eng.FindUnexpected(worldSrc, tag, c.ctx)
+	if !ok {
+		return false, nil, nil
+	}
+	return true, &Status{Source: c.commRankOfWorld(env.Src), Tag: env.Tag, Bytes: env.Len}, nil
+}

@@ -1,0 +1,126 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// PersistentRequest is a reusable communication request
+// (MPI_Send_init / MPI_Recv_init): the argument list is bound once, then
+// each Start initiates one transfer. The classic optimization for
+// iterative stencil codes that post the same halo exchange every step.
+type PersistentRequest struct {
+	c      *Comm
+	isSend bool
+
+	buf   []byte
+	count int
+	dt    Datatype
+	peer  int // dest or src (communicator rank; AnySource allowed on recv)
+	tag   int
+
+	active *Request
+}
+
+// SendInit creates a persistent standard-mode send request.
+func (c *Comm) SendInit(buf []byte, count int, dt Datatype, dest, tag int) (*PersistentRequest, error) {
+	if err := c.checkLive("SendInit"); err != nil {
+		return nil, err
+	}
+	if err := c.checkPeer("SendInit", dest); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: SendInit: negative tag %d", tag)
+	}
+	return &PersistentRequest{c: c, isSend: true, buf: buf, count: count, dt: dt, peer: dest, tag: tag}, nil
+}
+
+// RecvInit creates a persistent receive request. src may be AnySource.
+func (c *Comm) RecvInit(buf []byte, count int, dt Datatype, src, tag int) (*PersistentRequest, error) {
+	if err := c.checkLive("RecvInit"); err != nil {
+		return nil, err
+	}
+	if src != AnySource {
+		if err := c.checkPeer("RecvInit", src); err != nil {
+			return nil, err
+		}
+	}
+	return &PersistentRequest{c: c, isSend: false, buf: buf, count: count, dt: dt, peer: src, tag: tag}, nil
+}
+
+// Start initiates one transfer with the bound arguments (MPI_Start).
+// Starting an already-active request is an error.
+func (p *PersistentRequest) Start() error {
+	if p.active != nil && !p.active.finished {
+		return fmt.Errorf("mpi: Start on an active persistent request")
+	}
+	var req *Request
+	var err error
+	if p.isSend {
+		req, err = p.c.Isend(p.buf, p.count, p.dt, p.peer, p.tag)
+	} else {
+		req, err = p.c.Irecv(p.buf, p.count, p.dt, p.peer, p.tag)
+	}
+	if err != nil {
+		return err
+	}
+	p.active = req
+	return nil
+}
+
+// Wait completes the current transfer (MPI_Wait on a started persistent
+// request). The request may be started again afterwards.
+func (p *PersistentRequest) Wait() (*Status, error) {
+	if p.active == nil {
+		return nil, fmt.Errorf("mpi: Wait on a never-started persistent request")
+	}
+	return p.active.Wait()
+}
+
+// Test polls the current transfer without blocking.
+func (p *PersistentRequest) Test() (bool, *Status, error) {
+	if p.active == nil {
+		return false, nil, fmt.Errorf("mpi: Test on a never-started persistent request")
+	}
+	return p.active.Test()
+}
+
+// StartAll starts a set of persistent requests (MPI_Startall).
+func StartAll(reqs ...*PersistentRequest) error {
+	for _, r := range reqs {
+		if err := r.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitAllPersistent completes a set of started persistent requests.
+func WaitAllPersistent(reqs ...*PersistentRequest) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Pack serializes count elements of dt from buf into a contiguous byte
+// slice (MPI_Pack), charging the local memcpy.
+func (c *Comm) Pack(buf []byte, count int, dt Datatype) []byte {
+	out := PackBuf(buf, count, dt)
+	if !IsContiguous(dt) {
+		c.p.M.Compute(c.p.memTime(len(out)))
+	}
+	return out
+}
+
+// Unpack deserializes contiguous bytes into count elements of dt inside
+// buf (MPI_Unpack).
+func (c *Comm) Unpack(packed []byte, buf []byte, count int, dt Datatype) {
+	if !IsContiguous(dt) {
+		c.p.M.Compute(c.p.memTime(len(packed)))
+	}
+	UnpackBuf(buf, count, dt, packed)
+}

@@ -1,0 +1,116 @@
+package mpi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpichmad/internal/cluster"
+	"mpichmad/internal/mpi"
+)
+
+// TestPersistentHaloExchange drives a persistent-request halo exchange for
+// many iterations — the workload MPI_Send_init exists for — and checks
+// the data every step.
+func TestPersistentHaloExchange(t *testing.T) {
+	const n = 4
+	const steps = 10
+	_, err := cluster.Launch(nNodeTopo(n, "sisci"), func(rank int, comm *mpi.Comm) error {
+		right := (rank + 1) % n
+		left := (rank - 1 + n) % n
+		out := make([]byte, 8)
+		in := make([]byte, 8)
+
+		sreq, err := comm.SendInit(out, 1, mpi.Int64, right, 0)
+		if err != nil {
+			return err
+		}
+		rreq, err := comm.RecvInit(in, 1, mpi.Int64, left, 0)
+		if err != nil {
+			return err
+		}
+		for step := 0; step < steps; step++ {
+			copy(out, mpi.Int64Bytes([]int64{int64(rank*1000 + step)}))
+			if err := mpi.StartAll(rreq, sreq); err != nil {
+				return err
+			}
+			if err := mpi.WaitAllPersistent(rreq, sreq); err != nil {
+				return err
+			}
+			want := int64(left*1000 + step)
+			if got := mpi.BytesInt64(in)[0]; got != want {
+				return fmt.Errorf("rank %d step %d: got %d, want %d", rank, step, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentMisuse(t *testing.T) {
+	_, err := cluster.Launch(cluster.TwoNodes("sisci"), func(rank int, comm *mpi.Comm) error {
+		if rank != 0 {
+			// Peer side of the single successful Start below.
+			_, err := comm.Recv(make([]byte, 1), 1, mpi.Byte, 0, 0)
+			return err
+		}
+		if _, err := comm.SendInit(nil, 0, mpi.Byte, 9, 0); err == nil {
+			return fmt.Errorf("out-of-range dest accepted")
+		}
+		if _, err := comm.SendInit(nil, 0, mpi.Byte, 1, -1); err == nil {
+			return fmt.Errorf("negative tag accepted")
+		}
+		p, err := comm.SendInit([]byte{7}, 1, mpi.Byte, 1, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := p.Wait(); err == nil {
+			return fmt.Errorf("Wait before Start accepted")
+		}
+		if _, _, err := p.Test(); err == nil {
+			return fmt.Errorf("Test before Start accepted")
+		}
+		if err := p.Start(); err != nil {
+			return err
+		}
+		if err := p.Start(); err == nil {
+			return fmt.Errorf("double Start accepted")
+		}
+		if _, err := p.Wait(); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommPackUnpack exercises the MPI_Pack/MPI_Unpack surface with a
+// derived type.
+func TestCommPackUnpack(t *testing.T) {
+	_, err := cluster.Launch(cluster.TwoNodes("sisci"), func(rank int, comm *mpi.Comm) error {
+		dt := mpi.Vector(3, 1, 2, mpi.Int32) // every other int32
+		src := make([]byte, dt.Extent())
+		for i := range src {
+			src[i] = byte(i)
+		}
+		packed := comm.Pack(src, 1, dt)
+		if len(packed) != dt.Size() {
+			return fmt.Errorf("packed %d bytes, want %d", len(packed), dt.Size())
+		}
+		dst := make([]byte, dt.Extent())
+		comm.Unpack(packed, dst, 1, dt)
+		repacked := comm.Pack(dst, 1, dt)
+		for i := range packed {
+			if repacked[i] != packed[i] {
+				return fmt.Errorf("pack/unpack roundtrip broken at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package mpptest reimplements the measurement methodology of the paper's
+// §5: ping-pong sweeps over message sizes, at the MPI level (like the
+// mpptest program the authors used for the ch_mad and ch_p4 curves) and at
+// the raw Madeleine level (for the raw_Madeleine curves), reporting
+// one-way transfer time per size in virtual time.
+package mpptest
+
+import (
+	"fmt"
+
+	"mpichmad/internal/cluster"
+	"mpichmad/internal/madeleine"
+	"mpichmad/internal/marcel"
+	"mpichmad/internal/mpi"
+	"mpichmad/internal/netsim"
+	"mpichmad/internal/stats"
+	"mpichmad/internal/vtime"
+)
+
+// Config tunes a sweep.
+type Config struct {
+	// Iters round trips per size (the deterministic simulator needs no
+	// large repetition counts; >1 smooths protocol warm-up effects).
+	Iters int
+	// Tag used by the ping-pong messages.
+	Tag int
+	// Mutate, if set, adjusts the built session before it runs (e.g.
+	// overriding the elected switch point for ablations).
+	Mutate func(*cluster.Session)
+}
+
+func (c *Config) defaults() {
+	if c.Iters <= 0 {
+		c.Iters = 3
+	}
+}
+
+// MPIPingPong measures one-way transfer time between ranks 0 and 1 of the
+// given topology for every size, using blocking MPI_Send/MPI_Recv exactly
+// like mpptest. The returned series is named after name.
+func MPIPingPong(name string, topo cluster.Topology, sizes []int, cfg Config) (*stats.Series, error) {
+	cfg.defaults()
+	sess, err := cluster.Build(topo)
+	if err != nil {
+		return nil, err
+	}
+	if len(sess.Ranks) < 2 {
+		return nil, fmt.Errorf("mpptest: topology has %d ranks, need >= 2", len(sess.Ranks))
+	}
+	if cfg.Mutate != nil {
+		cfg.Mutate(sess)
+	}
+	series := &stats.Series{Name: name}
+	err = sess.Run(func(rank int, comm *mpi.Comm) error {
+		for _, size := range sizes {
+			if err := comm.Barrier(); err != nil {
+				return err
+			}
+			buf := make([]byte, size)
+			switch rank {
+			case 0:
+				start := sess.S.Now()
+				for i := 0; i < cfg.Iters; i++ {
+					if err := comm.Send(buf, size, mpi.Byte, 1, cfg.Tag); err != nil {
+						return err
+					}
+					if _, err := comm.Recv(buf, size, mpi.Byte, 1, cfg.Tag); err != nil {
+						return err
+					}
+				}
+				elapsed := sess.S.Now().Sub(start)
+				series.Add(size, elapsed/vtime.Duration(2*cfg.Iters))
+			case 1:
+				for i := 0; i < cfg.Iters; i++ {
+					if _, err := comm.Recv(buf, size, mpi.Byte, 0, cfg.Tag); err != nil {
+						return err
+					}
+					if err := comm.Send(buf, size, mpi.Byte, 0, cfg.Tag); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return series, nil
+}
+
+// RawMadeleine measures one-way transfer time of the bare Madeleine
+// library over one network (the raw_Madeleine curves): a single pack /
+// unpack per message, no MPI, no devices, no polling threads.
+func RawMadeleine(name string, params netsim.Params, sizes []int, cfg Config) (*stats.Series, error) {
+	cfg.defaults()
+	series := &stats.Series{Name: name}
+	for _, size := range sizes {
+		oneWay, err := rawOnce(params, size, cfg.Iters)
+		if err != nil {
+			return nil, err
+		}
+		series.Add(size, oneWay)
+	}
+	return series, nil
+}
+
+func rawOnce(params netsim.Params, size, iters int) (vtime.Duration, error) {
+	s := vtime.New()
+	s.SetDeadline(vtime.Time(500 * vtime.Second))
+	net := netsim.NewNetwork(s, params.Network, params)
+	pa, pb := marcel.NewProc(s, "a"), marcel.NewProc(s, "b")
+	ia, ib := madeleine.New(pa), madeleine.New(pb)
+	chA, err := ia.NewChannel("raw", net)
+	if err != nil {
+		return 0, err
+	}
+	chB, err := ib.NewChannel("raw", net)
+	if err != nil {
+		return 0, err
+	}
+	var elapsed vtime.Duration
+	var rankErr error
+	side := func(ch *madeleine.Channel, peer string, lead bool) func() {
+		return func() {
+			buf := make([]byte, size)
+			start := ch.Inst.P.S.Now()
+			for i := 0; i < iters; i++ {
+				if lead {
+					if err := rawSend(ch, peer, buf); err != nil {
+						rankErr = err
+						return
+					}
+					if err := rawRecv(ch, buf); err != nil {
+						rankErr = err
+						return
+					}
+				} else {
+					if err := rawRecv(ch, buf); err != nil {
+						rankErr = err
+						return
+					}
+					if err := rawSend(ch, peer, buf); err != nil {
+						rankErr = err
+						return
+					}
+				}
+			}
+			if lead {
+				elapsed = ch.Inst.P.S.Now().Sub(start)
+			}
+		}
+	}
+	pa.Spawn("ping", side(chA, "b", true))
+	pb.Spawn("pong", side(chB, "a", false))
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	if rankErr != nil {
+		return 0, rankErr
+	}
+	return elapsed / vtime.Duration(2*iters), nil
+}
+
+func rawSend(ch *madeleine.Channel, peer string, buf []byte) error {
+	conn, err := ch.BeginPacking(peer)
+	if err != nil {
+		return err
+	}
+	if len(buf) > 0 {
+		if err := conn.Pack(buf, madeleine.SendCheaper, madeleine.ReceiveCheaper); err != nil {
+			return err
+		}
+	}
+	return conn.EndPacking()
+}
+
+func rawRecv(ch *madeleine.Channel, buf []byte) error {
+	conn, err := ch.BeginUnpacking()
+	if err != nil {
+		return err
+	}
+	if len(buf) > 0 {
+		if err := conn.Unpack(buf, madeleine.SendCheaper, madeleine.ReceiveCheaper); err != nil {
+			return err
+		}
+	}
+	return conn.EndUnpacking()
+}
+
+// Bandwidth8MB measures the paper's Table 1/2 bandwidth figure: one-way
+// bandwidth of an 8 MB transfer, in MB/s.
+func Bandwidth8MB(oneWay8MB vtime.Duration) float64 {
+	return float64(8*netsim.MB) / oneWay8MB.Seconds() / netsim.MB
+}

@@ -1,0 +1,102 @@
+package mpptest
+
+import (
+	"math"
+	"testing"
+
+	"mpichmad/internal/cluster"
+	"mpichmad/internal/netsim"
+	"mpichmad/internal/vtime"
+)
+
+func TestRawMatchesTable1(t *testing.T) {
+	s, err := RawMadeleine("raw", netsim.SCISISCI(), []int{4, 8 * netsim.MB}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, _ := s.At(4)
+	if got := lat.LatencyUS(); math.Abs(got-4.4) > 0.6 {
+		t.Errorf("SCI raw 4B = %.2fus, want ~4.4", got)
+	}
+	bw, _ := s.At(8 * netsim.MB)
+	if got := bw.BandwidthMBs(); math.Abs(got-82.6) > 2 {
+		t.Errorf("SCI raw 8MB = %.1f MB/s, want ~82.6", got)
+	}
+}
+
+func TestMPIPingPongBasics(t *testing.T) {
+	s, err := MPIPingPong("ch_mad", cluster.TwoNodes("bip"), []int{0, 4, 1024}, Config{Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	p0, _ := s.At(0)
+	p4, _ := s.At(4)
+	pk, _ := s.At(1024)
+	if !(p0.OneWay < p4.OneWay && p4.OneWay < pk.OneWay) {
+		t.Fatalf("latency not increasing with size: %v %v %v", p0.OneWay, p4.OneWay, pk.OneWay)
+	}
+}
+
+func TestMutateHook(t *testing.T) {
+	called := false
+	_, err := MPIPingPong("x", cluster.TwoNodes("sisci"), []int{4}, Config{
+		Mutate: func(sess *cluster.Session) {
+			called = true
+			for _, rk := range sess.Ranks {
+				rk.ChMad.SetSwitchPoint(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("mutate hook not invoked")
+	}
+}
+
+func TestForcedRendezvousSlowerAtTinySizes(t *testing.T) {
+	// Forcing rendez-vous for everything must hurt small messages
+	// (three-way handshake) relative to eager.
+	eager, err := MPIPingPong("eager", cluster.TwoNodes("sisci"), []int{64}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rndv, err := MPIPingPong("rndv", cluster.TwoNodes("sisci"), []int{64}, Config{
+		Mutate: func(sess *cluster.Session) {
+			for _, rk := range sess.Ranks {
+				rk.ChMad.SetSwitchPoint(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, _ := eager.At(64)
+	pr, _ := rndv.At(64)
+	if pr.OneWay <= pe.OneWay {
+		t.Fatalf("forced rndv (%v) not slower than eager (%v) at 64B", pr.OneWay, pe.OneWay)
+	}
+}
+
+func TestBandwidth8MBHelper(t *testing.T) {
+	if got := Bandwidth8MB(vtime.Second); math.Abs(got-8.0) > 1e-9 {
+		t.Fatalf("Bandwidth8MB = %f", got)
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	if _, err := MPIPingPong("x", cluster.Topology{}, []int{4}, Config{}); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+	one := cluster.Topology{
+		Nodes:    []cluster.NodeSpec{{Name: "a", Procs: 1}},
+		Networks: []cluster.NetworkSpec{{Name: "t", Protocol: "tcp", Nodes: []string{"a"}}},
+	}
+	if _, err := MPIPingPong("x", one, []int{4}, Config{}); err == nil {
+		t.Fatal("single-rank topology accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpichmad/internal/vtime"
+)
+
+// Packet is one unit of transfer on a simulated link. Header bytes were
+// coalesced/copied by the sender (aggregation buffer); Body bytes are the
+// bulk payload, which may have been snapshotted without a time charge to
+// model zero-copy injection (DMA from user memory).
+type Packet struct {
+	Src, Dst string // endpoint node names
+	Kind     int    // driver/device-defined discriminator
+	Header   []byte
+	Body     []byte
+	Meta     interface{} // device-defined out-of-band data
+
+	Seq      uint64
+	SentAt   vtime.Time
+	ArriveAt vtime.Time
+}
+
+// WireSize returns the number of bytes the packet occupies on the wire.
+func (p *Packet) WireSize() int { return len(p.Header) + len(p.Body) }
+
+// Faults configures deterministic fault injection on a network, used by
+// reliability tests. The zero value injects nothing.
+type Faults struct {
+	// DropEvery drops every Nth packet (1-based count) when > 0.
+	DropEvery int
+	// JitterPct adds up to ±JitterPct% of WireLatency of deterministic
+	// pseudo-random jitter to each delivery. In-order delivery per
+	// directed pair is still enforced (packets never overtake).
+	JitterPct int
+	// Seed seeds the jitter PRNG (default 1).
+	Seed int64
+}
+
+// Stats aggregates per-network traffic counters.
+type Stats struct {
+	Packets    uint64
+	Bytes      uint64
+	Dropped    uint64
+	MaxInlight int
+}
+
+// Network is one protocol domain (e.g. "the SCI fabric"): a set of
+// endpoints with full pairwise connectivity, a shared cost model, and
+// per-directed-pair FIFO pipes.
+type Network struct {
+	S      *vtime.Scheduler
+	Name   string
+	Params Params
+	Faults Faults
+
+	endpoints map[string]*Endpoint
+	pipes     map[[2]string]*pipe
+	seq       uint64
+	rng       *rand.Rand
+	Stats     Stats
+}
+
+// NewNetwork creates a network with the given cost model.
+func NewNetwork(s *vtime.Scheduler, name string, p Params) *Network {
+	return &Network{
+		S:         s,
+		Name:      name,
+		Params:    p,
+		endpoints: make(map[string]*Endpoint),
+		pipes:     make(map[[2]string]*pipe),
+	}
+}
+
+// SetFaults installs a fault plan (tests only).
+func (n *Network) SetFaults(f Faults) {
+	n.Faults = f
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	n.rng = rand.New(rand.NewSource(seed))
+}
+
+// pipe models the directed wire between two endpoints: sender-side
+// serialization plus in-order arrival enforcement.
+type pipe struct {
+	busyUntil   vtime.Time
+	lastArrival vtime.Time
+	count       uint64
+}
+
+// Endpoint is one NIC attached to a network. Deliveries invoke OnDeliver
+// in scheduler context (it must not block; typically it pushes into a
+// vtime.Queue and returns).
+type Endpoint struct {
+	Net  *Network
+	Node string
+	// OnDeliver receives each arriving packet at its arrival time.
+	OnDeliver func(*Packet)
+}
+
+// Attach creates (or returns) the endpoint for a node on this network.
+func (n *Network) Attach(node string) *Endpoint {
+	if ep, ok := n.endpoints[node]; ok {
+		return ep
+	}
+	ep := &Endpoint{Net: n, Node: node}
+	n.endpoints[node] = ep
+	return ep
+}
+
+// Endpoint returns the endpoint for node, ok=false if not attached.
+func (n *Network) Endpoint(node string) (*Endpoint, bool) {
+	ep, ok := n.endpoints[node]
+	return ep, ok
+}
+
+// Nodes returns the attached node names (unordered).
+func (n *Network) Nodes() []string {
+	out := make([]string, 0, len(n.endpoints))
+	for name := range n.endpoints {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Send injects pkt onto the wire from ep toward pkt.Dst. The caller has
+// already charged any CPU costs (send overhead, copies, packing); Send
+// only models wire serialization and propagation, then delivers to the
+// destination endpoint's OnDeliver at the arrival instant.
+//
+// Must be called from task context or an At callback.
+func (ep *Endpoint) Send(pkt *Packet) error {
+	n := ep.Net
+	dst, ok := n.endpoints[pkt.Dst]
+	if !ok {
+		return fmt.Errorf("netsim: %s: no endpoint %q on network %q", ep.Node, pkt.Dst, n.Name)
+	}
+	if dst == ep {
+		return fmt.Errorf("netsim: %s: self-send on network %q (use the loopback device)", ep.Node, n.Name)
+	}
+	pkt.Src = ep.Node
+	n.seq++
+	pkt.Seq = n.seq
+	pkt.SentAt = n.S.Now()
+
+	key := [2]string{ep.Node, pkt.Dst}
+	pp := n.pipes[key]
+	if pp == nil {
+		pp = &pipe{}
+		n.pipes[key] = pp
+	}
+	pp.count++
+
+	n.Stats.Packets++
+	n.Stats.Bytes += uint64(pkt.WireSize())
+
+	if n.Faults.DropEvery > 0 && pp.count%uint64(n.Faults.DropEvery) == 0 {
+		n.Stats.Dropped++
+		return nil // silently lost; reliability layers must recover
+	}
+
+	txStart := n.S.Now()
+	if pp.busyUntil > txStart {
+		txStart = pp.busyUntil
+	}
+	txEnd := txStart.Add(n.Params.TxTime(pkt.WireSize()))
+	pp.busyUntil = txEnd
+
+	lat := n.Params.WireLatency
+	if n.Faults.JitterPct > 0 && n.rng != nil {
+		span := int64(lat) * int64(n.Faults.JitterPct) / 100
+		if span > 0 {
+			lat += vtime.Duration(n.rng.Int63n(2*span+1) - span)
+		}
+	}
+	arrive := txEnd.Add(lat)
+	if arrive < pp.lastArrival {
+		arrive = pp.lastArrival // no overtaking on a directed pair
+	}
+	pp.lastArrival = arrive
+	pkt.ArriveAt = arrive
+
+	n.S.At(arrive, func() {
+		if dst.OnDeliver == nil {
+			panic(fmt.Sprintf("netsim: endpoint %s/%s has no OnDeliver", n.Name, dst.Node))
+		}
+		dst.OnDeliver(pkt)
+	})
+	return nil
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"mpichmad/internal/netsim"
+	"mpichmad/internal/vtime"
+)
+
+func TestPointMath(t *testing.T) {
+	p := Point{Size: netsim.MB, OneWay: vtime.Second}
+	if p.BandwidthMBs() != 1.0 {
+		t.Fatalf("bw = %f", p.BandwidthMBs())
+	}
+	if p.LatencyUS() != 1e6 {
+		t.Fatalf("lat = %f", p.LatencyUS())
+	}
+	if (Point{Size: 1, OneWay: 0}).BandwidthMBs() != 0 {
+		t.Fatal("zero time must not divide")
+	}
+}
+
+func TestSeriesAtAndAdd(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(4, 10*vtime.Microsecond)
+	s.Add(8, 20*vtime.Microsecond)
+	if p, ok := s.At(8); !ok || p.OneWay != 20*vtime.Microsecond {
+		t.Fatal("At lookup broken")
+	}
+	if _, ok := s.At(99); ok {
+		t.Fatal("phantom point")
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{
+		1: "1", 512: "512", 1024: "1K", 8192: "8K",
+		1 << 20: "1M", 8 << 20: "8M", 1500: "1500",
+	}
+	for n, want := range cases {
+		if got := SizeLabel(n); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestSweepsShape(t *testing.T) {
+	a := Sizes1B1KB()
+	if a[0] != 1 || a[len(a)-1] != 1024 {
+		t.Fatal("latency sweep bounds")
+	}
+	b := Sizes1B1MB()
+	if b[0] != 1 || b[len(b)-1] != 1<<20 {
+		t.Fatal("bandwidth sweep bounds")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatal("sweep not increasing")
+		}
+	}
+}
+
+func TestTableAndCSVRendering(t *testing.T) {
+	s1 := &Series{Name: "a"}
+	s1.Add(1, 10*vtime.Microsecond)
+	s1.Add(1024, 20*vtime.Microsecond)
+	s2 := &Series{Name: "b"}
+	s2.Add(1024, 40*vtime.Microsecond)
+
+	tab := Table("t", "us", []*Series{s1, s2}, Point.LatencyUS)
+	if !strings.Contains(tab, "1K") || !strings.Contains(tab, "40.00") {
+		t.Fatalf("table:\n%s", tab)
+	}
+	// Missing cells render as '-'.
+	if !strings.Contains(tab, "-") {
+		t.Fatalf("missing-cell marker absent:\n%s", tab)
+	}
+
+	csv := CSV([]*Series{s1, s2}, Point.LatencyUS)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "size,a,b" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("csv rows: %v", lines)
+	}
+	if !strings.HasPrefix(lines[2], "1024,20.000,40.000") {
+		t.Fatalf("csv row %q", lines[2])
+	}
+}

@@ -1,0 +1,73 @@
+package vtime
+
+import "testing"
+
+// Wall-clock microbenchmarks of the DES kernel: these bound the simulator
+// overhead per event, which determines how large a virtual cluster the
+// harness can sweep.
+
+func BenchmarkSleepWake(b *testing.B) {
+	s := New()
+	s.Go("main", func() {
+		for i := 0; i < b.N; i++ {
+			s.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	s := New()
+	q := NewQueue[int](s, "q")
+	s.Go("producer", func() {
+		for i := 0; i < b.N; i++ {
+			q.Push(i)
+			s.Yield()
+		}
+	})
+	s.Go("consumer", func() {
+		for i := 0; i < b.N; i++ {
+			q.Pop()
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSemHandoff(b *testing.B) {
+	s := New()
+	sem := NewSem(s, "cpu", 1)
+	for w := 0; w < 4; w++ {
+		s.Go("worker", func() {
+			for i := 0; i < b.N/4; i++ {
+				sem.Acquire()
+				s.Sleep(Nanosecond)
+				sem.Release()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSpawnJoin(b *testing.B) {
+	s := New()
+	s.Go("main", func() {
+		for i := 0; i < b.N; i++ {
+			ev := NewEvent(s, "done")
+			s.Go("child", func() { ev.Fire() })
+			ev.Wait()
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// taskState describes where a task currently lives.
+type taskState int
+
+const (
+	stateNew taskState = iota
+	stateReady
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+func (st taskState) String() string {
+	switch st {
+	case stateNew:
+		return "new"
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "?"
+}
+
+// Task is a cooperative unit of execution scheduled in virtual time.
+// A task runs on its own goroutine but only while it holds the scheduler's
+// token, so at most one task executes at any moment.
+type Task struct {
+	s      *Scheduler
+	id     int
+	name   string
+	daemon bool
+	state  taskState
+
+	resume chan struct{}
+
+	// waitGen is bumped each time the task is woken; pending timeout
+	// timers carry the generation at which they were armed so stale
+	// timers can be ignored.
+	waitGen  uint64
+	timedOut bool
+	// blockedOn is a human-readable description used in deadlock reports.
+	blockedOn string
+	// cancelWait detaches the task from whatever wait list it is on;
+	// invoked when a timeout fires first.
+	cancelWait func()
+}
+
+// Name returns the task's diagnostic name.
+func (t *Task) Name() string { return t.name }
+
+// ID returns the task's unique id (assigned in spawn order).
+func (t *Task) ID() int { return t.id }
+
+// timer is an entry in the scheduler's timer heap: either a task wakeup
+// (possibly a timeout for a blocked task) or a callback.
+type timer struct {
+	when Time
+	seq  uint64
+
+	task      *Task
+	gen       uint64 // waitGen at arming time (timeouts only)
+	isTimeout bool
+
+	fn func()
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Scheduler is the discrete-event simulation kernel. Create one with New,
+// spawn tasks with Go, then call Run. All methods other than construction
+// and Go-before-Run must be called from inside a running task (or, where
+// documented, from an At callback).
+type Scheduler struct {
+	now  Time
+	seq  uint64
+	rdy  []*Task
+	tmrs timerHeap
+
+	running *Task
+	park    chan struct{}
+	stop    chan struct{}
+
+	nextID  int
+	live    int // live non-daemon tasks
+	liveAll int
+	tasks   map[int]*Task
+
+	deadline Time
+	started  bool
+	stopped  bool
+}
+
+// New creates an empty scheduler with the clock at 0 and no deadline.
+func New() *Scheduler {
+	return &Scheduler{
+		park:     make(chan struct{}),
+		stop:     make(chan struct{}),
+		tasks:    make(map[int]*Task),
+		deadline: Time(1<<63 - 1),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// SetDeadline aborts Run with an error if virtual time would advance past
+// t. Useful as a watchdog against livelock (e.g. runaway polling loops).
+func (s *Scheduler) SetDeadline(t Time) { s.deadline = t }
+
+// Go spawns a new task. It may be called before Run or from a running
+// task. The task becomes runnable immediately (FIFO order).
+func (s *Scheduler) Go(name string, fn func()) *Task {
+	return s.spawn(name, false, fn)
+}
+
+// GoDaemon spawns a daemon task: Run returns once every non-daemon task
+// has finished, regardless of daemons still blocked or sleeping (they are
+// torn down cleanly). Polling threads are daemons.
+func (s *Scheduler) GoDaemon(name string, fn func()) *Task {
+	return s.spawn(name, true, fn)
+}
+
+func (s *Scheduler) spawn(name string, daemon bool, fn func()) *Task {
+	t := &Task{
+		s:      s,
+		id:     s.nextID,
+		name:   name,
+		daemon: daemon,
+		state:  stateReady,
+		resume: make(chan struct{}),
+	}
+	s.nextID++
+	s.tasks[t.id] = t
+	s.liveAll++
+	if !daemon {
+		s.live++
+	}
+	s.rdy = append(s.rdy, t)
+	go s.taskMain(t, fn)
+	return t
+}
+
+func (s *Scheduler) taskMain(t *Task, fn func()) {
+	select {
+	case <-t.resume:
+	case <-s.stop:
+		runtime.Goexit()
+	}
+	fn()
+	t.state = stateDone
+	delete(s.tasks, t.id)
+	s.liveAll--
+	if !t.daemon {
+		s.live--
+	}
+	s.park <- struct{}{}
+}
+
+// Run executes the simulation until every non-daemon task completes.
+// It returns an error on deadlock (live tasks but no pending events) or if
+// the virtual deadline is exceeded.
+func (s *Scheduler) Run() error {
+	if s.started {
+		return fmt.Errorf("vtime: scheduler already run")
+	}
+	s.started = true
+	defer func() {
+		s.stopped = true
+		close(s.stop) // release parked goroutines
+	}()
+
+	for {
+		if s.live == 0 {
+			return nil
+		}
+		if len(s.rdy) > 0 {
+			t := s.rdy[0]
+			copy(s.rdy, s.rdy[1:])
+			s.rdy = s.rdy[:len(s.rdy)-1]
+			t.state = stateRunning
+			s.running = t
+			t.resume <- struct{}{}
+			<-s.park
+			s.running = nil
+			continue
+		}
+		if s.tmrs.Len() == 0 {
+			return fmt.Errorf("vtime: deadlock at %v: no runnable task, no pending event\n%s",
+				s.now, s.blockedReport())
+		}
+		e := heap.Pop(&s.tmrs).(*timer)
+		if e.when > s.deadline {
+			return fmt.Errorf("vtime: virtual deadline %v exceeded (next event at %v)", s.deadline, e.when)
+		}
+		if e.when > s.now {
+			s.now = e.when
+		}
+		switch {
+		case e.fn != nil:
+			e.fn()
+		case e.isTimeout:
+			t := e.task
+			if t.state == stateBlocked && t.waitGen == e.gen {
+				if t.cancelWait != nil {
+					t.cancelWait()
+					t.cancelWait = nil
+				}
+				t.timedOut = true
+				s.makeReady(t)
+			}
+		default: // plain sleep wakeup
+			t := e.task
+			if t.state == stateBlocked && t.waitGen == e.gen {
+				t.timedOut = false
+				s.makeReady(t)
+			}
+		}
+	}
+}
+
+// blockedReport lists every live task and what it is blocked on; used in
+// deadlock errors so MPI test failures are diagnosable.
+func (s *Scheduler) blockedReport() string {
+	ids := make([]int, 0, len(s.tasks))
+	for id := range s.tasks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		t := s.tasks[id]
+		fmt.Fprintf(&b, "  task %d %q: %s", t.id, t.name, t.state)
+		if t.state == stateBlocked && t.blockedOn != "" {
+			fmt.Fprintf(&b, " on %s", t.blockedOn)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (s *Scheduler) makeReady(t *Task) {
+	t.waitGen++
+	t.state = stateReady
+	t.blockedOn = ""
+	t.cancelWait = nil
+	s.rdy = append(s.rdy, t)
+}
+
+// cur returns the currently running task, panicking if called from outside
+// task context (e.g. from an At callback, which must not block).
+func (s *Scheduler) cur(op string) *Task {
+	if s.running == nil {
+		panic("vtime: " + op + " called outside a running task")
+	}
+	return s.running
+}
+
+// switchOut parks the current task and hands control back to the
+// scheduler loop. The task resumes when woken (made ready and picked).
+func (s *Scheduler) switchOut(t *Task) {
+	s.park <- struct{}{}
+	select {
+	case <-t.resume:
+	case <-s.stop:
+		runtime.Goexit()
+	}
+}
+
+func (s *Scheduler) addTimer(e *timer) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.tmrs, e)
+}
+
+// Sleep suspends the current task for d of virtual time. d <= 0 yields.
+func (s *Scheduler) Sleep(d Duration) {
+	t := s.cur("Sleep")
+	if d <= 0 {
+		s.Yield()
+		return
+	}
+	s.addTimer(&timer{when: s.now.Add(d), task: t, gen: t.waitGen})
+	t.state = stateBlocked
+	t.blockedOn = fmt.Sprintf("sleep until %v", s.now.Add(d))
+	s.switchOut(t)
+}
+
+// Yield places the current task at the back of the ready queue and runs
+// the next one, without advancing time.
+func (s *Scheduler) Yield() {
+	t := s.cur("Yield")
+	t.state = stateReady
+	s.rdy = append(s.rdy, t)
+	s.switchOut(t)
+}
+
+// At schedules fn to run at virtual time when (or now, if in the past).
+// fn executes in scheduler context and must not block; it may wake tasks
+// (Queue.Push, Event.Fire, Sem.Release) and schedule further callbacks.
+func (s *Scheduler) At(when Time, fn func()) {
+	if when < s.now {
+		when = s.now
+	}
+	s.addTimer(&timer{when: when, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// block parks the current task until woken by a wake() call or, if
+// timeout >= 0, until the timeout expires. cancel detaches the task from
+// its wait list when the timeout wins. Returns true if it timed out.
+// The caller must have registered the task on a wait list already.
+func (s *Scheduler) block(t *Task, what string, timeout Duration, cancel func()) bool {
+	t.state = stateBlocked
+	t.blockedOn = what
+	t.timedOut = false
+	t.cancelWait = cancel
+	if timeout >= 0 {
+		s.addTimer(&timer{when: s.now.Add(timeout), task: t, gen: t.waitGen, isTimeout: true})
+	}
+	s.switchOut(t)
+	return t.timedOut
+}
+
+// wake moves a blocked task to the ready queue. Safe to call from task or
+// scheduler (At callback) context.
+func (s *Scheduler) wake(t *Task) {
+	if t.state != stateBlocked {
+		panic(fmt.Sprintf("vtime: wake of task %q in state %v", t.name, t.state))
+	}
+	s.makeReady(t)
+}

@@ -1,0 +1,216 @@
+package vtime
+
+// This file provides virtual-time synchronization primitives. They mirror
+// the shapes of sync.Mutex / semaphores / condition variables but block in
+// virtual time: a waiting task consumes no simulated CPU and wakes exactly
+// when the corresponding release/fire/push event occurs.
+//
+// All primitives use strict FIFO handoff, which keeps simulations
+// deterministic and fair (no barging).
+
+// Sem is a counting semaphore in virtual time. The zero value is unusable;
+// create with NewSem.
+type Sem struct {
+	s       *Scheduler
+	name    string
+	n       int
+	waiters []*Task
+}
+
+// NewSem creates a semaphore holding n initial permits.
+func NewSem(s *Scheduler, name string, n int) *Sem {
+	return &Sem{s: s, name: name, n: n}
+}
+
+// Acquire takes one permit, blocking in virtual time until available.
+func (m *Sem) Acquire() {
+	t := m.s.cur("Sem.Acquire")
+	if m.n > 0 && len(m.waiters) == 0 {
+		m.n--
+		return
+	}
+	m.waiters = append(m.waiters, t)
+	m.s.block(t, "sem "+m.name, -1, nil)
+	// Handoff semantics: the releaser consumed our permit for us.
+}
+
+// TryAcquire takes a permit without blocking, reporting success.
+func (m *Sem) TryAcquire() bool {
+	if m.n > 0 && len(m.waiters) == 0 {
+		m.n--
+		return true
+	}
+	return false
+}
+
+// Release returns one permit, handing it directly to the first waiter if
+// any. Safe from scheduler (At) context.
+func (m *Sem) Release() {
+	if len(m.waiters) > 0 {
+		t := m.waiters[0]
+		copy(m.waiters, m.waiters[1:])
+		m.waiters = m.waiters[:len(m.waiters)-1]
+		m.s.wake(t)
+		return
+	}
+	m.n++
+}
+
+// Value returns the number of free permits (for tests and introspection).
+func (m *Sem) Value() int { return m.n }
+
+// Waiting returns how many tasks are queued on the semaphore.
+func (m *Sem) Waiting() int { return len(m.waiters) }
+
+// Mutex is a binary semaphore with Lock/Unlock naming.
+type Mutex struct{ sem *Sem }
+
+// NewMutex creates an unlocked virtual-time mutex.
+func NewMutex(s *Scheduler, name string) *Mutex {
+	return &Mutex{sem: NewSem(s, name, 1)}
+}
+
+// Lock acquires the mutex, blocking in virtual time.
+func (m *Mutex) Lock() { m.sem.Acquire() }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.sem.Release() }
+
+// Event is a one-shot broadcast flag: Wait blocks until Fire, after which
+// all current and future Waits return immediately.
+type Event struct {
+	s       *Scheduler
+	name    string
+	fired   bool
+	waiters []*Task
+}
+
+// NewEvent creates an unfired event.
+func NewEvent(s *Scheduler, name string) *Event {
+	return &Event{s: s, name: name}
+}
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Wait blocks the calling task until the event fires.
+func (e *Event) Wait() {
+	if e.fired {
+		return
+	}
+	t := e.s.cur("Event.Wait")
+	e.waiters = append(e.waiters, t)
+	e.s.block(t, "event "+e.name, -1, nil)
+}
+
+// Fire marks the event and wakes every waiter. Safe from scheduler
+// context. Firing twice is a no-op.
+func (e *Event) Fire() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	ws := e.waiters
+	e.waiters = nil
+	for _, t := range ws {
+		e.s.wake(t)
+	}
+}
+
+// Queue is an unbounded FIFO of T with blocking Pop, used as the delivery
+// queue of simulated NICs and as inter-thread mailboxes.
+type Queue[T any] struct {
+	s       *Scheduler
+	name    string
+	items   []T
+	waiters []*Task
+}
+
+// NewQueue creates an empty queue.
+func NewQueue[T any](s *Scheduler, name string) *Queue[T] {
+	return &Queue[T]{s: s, name: name}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends v and wakes one waiting Pop, if any. Safe from scheduler
+// (At) context.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		t := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		q.s.wake(t)
+	}
+}
+
+// TryPop removes and returns the head item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// Peek returns the head item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Pop removes and returns the head item, blocking in virtual time until
+// one is available.
+func (q *Queue[T]) Pop() T {
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v
+		}
+		t := q.s.cur("Queue.Pop")
+		q.waiters = append(q.waiters, t)
+		q.s.block(t, "queue "+q.name, -1, nil)
+	}
+}
+
+// PopTimeout is Pop with a virtual-time timeout; ok=false on timeout.
+func (q *Queue[T]) PopTimeout(d Duration) (T, bool) {
+	deadline := q.s.Now().Add(d)
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v, true
+		}
+		remain := deadline.Sub(q.s.Now())
+		if remain < 0 {
+			var zero T
+			return zero, false
+		}
+		t := q.s.cur("Queue.PopTimeout")
+		q.waiters = append(q.waiters, t)
+		timedOut := q.s.block(t, "queue "+q.name, remain, func() {
+			for i, w := range q.waiters {
+				if w == t {
+					q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+					break
+				}
+			}
+		})
+		if timedOut {
+			// One last chance: an item may have been pushed at the
+			// exact deadline tick after the timer fired.
+			if v, ok := q.TryPop(); ok {
+				return v, true
+			}
+			var zero T
+			return zero, false
+		}
+	}
+}
