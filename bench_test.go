@@ -12,6 +12,8 @@
 package mpichmad_test
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 
 	"mpichmad/internal/baselines"
@@ -215,6 +217,66 @@ func BenchmarkForwarding(b *testing.B) {
 		if p, ok := s.At(1 << 20); ok {
 			b.ReportMetric(p.BandwidthMBs(), "MB/s1M:"+sanitize(s.Name))
 		}
+	}
+}
+
+// BenchmarkHierCollectives regenerates extension X4: flat (topology-blind)
+// versus two-level (hierarchy-aware) collectives on the 2x4-rank
+// cluster-of-clusters topology, and records the full sweep to
+// BENCH_collectives.json for regression tracking.
+func BenchmarkHierCollectives(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.HierCollectives()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, s := range res.Series {
+		if p, ok := s.At(8); ok {
+			b.ReportMetric(p.LatencyUS(), "vus8B:"+sanitize(s.Name))
+		}
+		if p, ok := s.At(64<<10); ok {
+			b.ReportMetric(p.LatencyUS(), "vus64K:"+sanitize(s.Name))
+		}
+	}
+	writeCollectivesJSON(b, res)
+}
+
+// writeCollectivesJSON records the X4 sweep next to the benchmark so the
+// flat-vs-hierarchical numbers are versioned with the code.
+func writeCollectivesJSON(b *testing.B, res *experiments.Result) {
+	b.Helper()
+	type point struct {
+		SizeBytes int     `json:"size_bytes"`
+		VirtualUS float64 `json:"virtual_us"`
+	}
+	type series struct {
+		Name   string  `json:"name"`
+		Points []point `json:"points"`
+	}
+	out := struct {
+		Experiment string   `json:"experiment"`
+		Topology   string   `json:"topology"`
+		Series     []series `json:"series"`
+	}{
+		Experiment: res.Title,
+		Topology:   "2 SCI islands x 4 single-proc nodes, interleaved ranks, TCP backbone",
+	}
+	for _, s := range res.Series {
+		sr := series{Name: s.Name}
+		for _, p := range s.Points {
+			sr.Points = append(sr.Points, point{SizeBytes: p.Size, VirtualUS: p.LatencyUS()})
+		}
+		out.Series = append(out.Series, sr)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_collectives.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("could not record BENCH_collectives.json: %v", err)
 	}
 }
 

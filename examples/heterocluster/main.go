@@ -37,6 +37,25 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The session discovers the cluster-of-clusters structure from the
+	// declarative topology; the two-level collectives dispatch on it.
+	h := sess.Hierarchy()
+	fmt.Printf("discovered hierarchy: %d clusters\n", h.NumClusters())
+	for ci, ranks := range sess.Clusters() {
+		link := h.Intra[ci]
+		fmt.Printf("  cluster %d %-9s (%6.1f MB/s, %5.1f us) ranks %v leader %d\n",
+			ci, link.Net, link.BandwidthMBs, link.LatencyUS, ranks, ranks[0])
+	}
+	fmt.Printf("  backbone  %-9s (%6.1f MB/s, %5.1f us) pipeline segment %d B\n",
+		h.Inter.Net, h.Inter.BandwidthMBs, h.Inter.LatencyUS, h.Inter.SegmentBytes)
+	fmt.Println("rank 0 routes (channel carrying traffic to each peer):")
+	for dst := 1; dst < len(sess.Ranks); dst++ {
+		if name, params, ok := sess.Ranks[0].ChMad.RouteNet(dst); ok {
+			fmt.Printf("  -> rank %d (%s): %s/%s\n", dst, sess.RankNode(dst), name, params.Protocol)
+		}
+	}
+	fmt.Println()
+
 	n := len(sess.Ranks)
 	latency := make([][]float64, n)
 	for i := range latency {

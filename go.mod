@@ -1,0 +1,3 @@
+module mpichmad
+
+go 1.24

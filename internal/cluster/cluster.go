@@ -73,8 +73,11 @@ type Session struct {
 	Ranks    []*Rank
 	Networks map[string]*netsim.Network
 
-	nodeOf  map[int]string // rank -> node
-	rankErr []error
+	nodeOf     map[int]string      // rank -> node
+	netsOfNode map[string][]string // node -> attached network names
+	places     []placementInfo     // rank -> placement
+	hier       *mpi.Hierarchy      // discovered cluster structure
+	rankErr    []error
 }
 
 // Build wires a session from a topology.
@@ -133,6 +136,8 @@ func Build(topo Topology) (*Session, error) {
 	if size == 0 {
 		return nil, fmt.Errorf("cluster: empty topology")
 	}
+	sess.places = places
+	sess.netsOfNode = nodeNets
 
 	switch topo.Device {
 	case "ch_mad":
@@ -252,9 +257,20 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 		}
 	}
 
+	// Start the devices first (this elects each ch_mad switch point), then
+	// discover the cluster hierarchy: the backbone pipeline segment must
+	// stay at or below every device's eager threshold.
+	minSwitch := 0
+	for r := 0; r < size; r++ {
+		wirings[r].rank.ChMad.Start()
+		if sp := wirings[r].rank.ChMad.SwitchPoint(); minSwitch == 0 || sp < minSwitch {
+			minSwitch = sp
+		}
+	}
+	hier := sess.discoverHierarchy(minSwitch)
+
 	for r := 0; r < size; r++ {
 		w := wirings[r]
-		w.rank.ChMad.Start()
 		devices := []adi.Device{w.self, w.rank.ChMad}
 		if w.smp != nil {
 			devices = append(devices, w.smp)
@@ -273,6 +289,7 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 			}
 		}
 		w.rank.MPI = mpi.NewProcess(w.rank.Proc, w.rank.Eng, r, size, route, devices)
+		w.rank.MPI.SetHierarchy(hier)
 		sess.Ranks = append(sess.Ranks, w.rank)
 	}
 	return nil
@@ -326,6 +343,7 @@ func (sess *Session) buildChP4(places []placementInfo) error {
 	for r, pl := range places {
 		ranks[r] = pl.proc
 	}
+	hier := sess.discoverHierarchy(0)
 	for r, pl := range places {
 		proc := marcel.NewProc(sess.S, pl.proc)
 		eng := adi.NewEngine(proc, r)
@@ -339,6 +357,7 @@ func (sess *Session) buildChP4(places []placementInfo) error {
 			return p4
 		}
 		mp := mpi.NewProcess(proc, eng, r, size, route, []adi.Device{self, p4})
+		mp.SetHierarchy(hier)
 		sess.Ranks = append(sess.Ranks, &Rank{Rank: r, Node: pl.node, Proc: proc, Eng: eng, MPI: mp})
 		sess.nodeOf[r] = pl.node
 	}

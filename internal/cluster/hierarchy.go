@@ -1,0 +1,148 @@
+package cluster
+
+// Hierarchy discovery: derive the cluster-of-clusters structure the
+// two-level MPI collectives need (internal/mpi/topology.go) from the
+// declarative topology. A "cluster" is the set of nodes whose fastest
+// attached network is the same physical network: the SCI island, the
+// Myrinet island, the set of backbone-only nodes. Networks that span more
+// than one such cluster are backbones; the fastest of them becomes the
+// hierarchy's inter-cluster link.
+
+import (
+	"sort"
+
+	"mpichmad/internal/mpi"
+	"mpichmad/internal/netsim"
+)
+
+// fastestNet returns the highest-bandwidth network attached to a node
+// (ties broken by name for determinism), or "" for an unnetworked node.
+func (sess *Session) fastestNet(node string) string {
+	best := ""
+	var bw float64 = -1
+	names := append([]string(nil), sess.netsOfNode[node]...)
+	sort.Strings(names)
+	for _, name := range names {
+		if p := sess.Networks[name].Params; p.Bandwidth > bw {
+			best, bw = name, p.Bandwidth
+		}
+	}
+	return best
+}
+
+// discoverHierarchy groups ranks into clusters and summarizes the intra-
+// and inter-cluster links for the collective tuning table. maxSegment,
+// when positive, caps the backbone pipeline segment at the devices'
+// elected eager threshold so broadcast segments never trigger a
+// rendez-vous round-trip per segment.
+func (sess *Session) discoverHierarchy(maxSegment int) *mpi.Hierarchy {
+	h := &mpi.Hierarchy{ClusterOf: make([]int, len(sess.places))}
+	clusterIdx := make(map[string]int) // cluster key -> dense id, by first rank
+	for r, pl := range sess.places {
+		key := sess.fastestNet(pl.node)
+		if key == "" {
+			key = "node:" + pl.node // unnetworked node: its own cluster
+		}
+		id, ok := clusterIdx[key]
+		if !ok {
+			id = len(h.ClusterNames)
+			clusterIdx[key] = id
+			h.ClusterNames = append(h.ClusterNames, key)
+			h.Intra = append(h.Intra, sess.linkFor(key, 0))
+		}
+		h.ClusterOf[r] = id
+	}
+
+	// The backbone is the fastest network spanning several clusters.
+	if len(h.ClusterNames) > 1 {
+		best := ""
+		var bw float64 = -1
+		names := make([]string, 0, len(sess.Networks))
+		for name := range sess.Networks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if !sess.spansClusters(name, h) {
+				continue
+			}
+			if p := sess.Networks[name].Params; p.Bandwidth > bw {
+				best, bw = name, p.Bandwidth
+			}
+		}
+		if best != "" {
+			h.Inter = sess.linkFor(best, maxSegment)
+		}
+	}
+	sess.hier = h
+	return h
+}
+
+// spansClusters reports whether a network connects nodes of at least two
+// different clusters.
+func (sess *Session) spansClusters(netName string, h *mpi.Hierarchy) bool {
+	seen := -1
+	for r, pl := range sess.places {
+		attached := false
+		for _, n := range sess.netsOfNode[pl.node] {
+			if n == netName {
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			continue
+		}
+		if seen == -1 {
+			seen = h.ClusterOf[r]
+		} else if h.ClusterOf[r] != seen {
+			return true
+		}
+	}
+	return false
+}
+
+// linkFor summarizes one network as a tuning-table link. maxSegment > 0
+// caps the pipeline segment (devices' elected eager threshold).
+func (sess *Session) linkFor(netName string, maxSegment int) mpi.Link {
+	var params netsim.Params
+	if net, ok := sess.Networks[netName]; ok {
+		params = net.Params
+	} else {
+		// Unnetworked single-node cluster: intra-node shared memory.
+		params = netsim.SharedMemory()
+	}
+	lat, bw := params.LatencyBandwidth()
+	seg := params.PipelineSegment()
+	if maxSegment > 0 && seg > maxSegment {
+		seg = maxSegment
+	}
+	return mpi.Link{Net: netName, LatencyUS: lat, BandwidthMBs: bw, SegmentBytes: seg}
+}
+
+// Hierarchy returns the discovered cluster structure (also installed on
+// every rank's mpi.Process at build time).
+func (sess *Session) Hierarchy() *mpi.Hierarchy { return sess.hier }
+
+// ClusterOf returns the cluster index of a world rank.
+func (sess *Session) ClusterOf(rank int) int { return sess.hier.ClusterOf[rank] }
+
+// RankNode returns the node a world rank is placed on.
+func (sess *Session) RankNode(rank int) string { return sess.places[rank].node }
+
+// RankNetworks returns the names of the networks attached to a rank's
+// node, sorted.
+func (sess *Session) RankNetworks(rank int) []string {
+	out := append([]string(nil), sess.netsOfNode[sess.places[rank].node]...)
+	sort.Strings(out)
+	return out
+}
+
+// Clusters returns the world ranks of each cluster, in cluster order.
+func (sess *Session) Clusters() [][]int {
+	out := make([][]int, len(sess.hier.ClusterNames))
+	for r, c := range sess.hier.ClusterOf {
+		out[c] = append(out[c], r)
+	}
+	return out
+}

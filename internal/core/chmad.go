@@ -6,6 +6,7 @@ import (
 	"mpichmad/internal/adi"
 	"mpichmad/internal/madeleine"
 	"mpichmad/internal/marcel"
+	"mpichmad/internal/netsim"
 )
 
 // Route tells the device how to reach a destination rank: which Madeleine
@@ -87,6 +88,25 @@ func (d *Device) AddRoute(rank int, r Route) { d.routes[rank] = r }
 
 // Channels returns the registered channels (for tests and experiments).
 func (d *Device) Channels() []*madeleine.Channel { return d.channels }
+
+// RouteTo returns the route used to reach a destination world rank,
+// ok=false when the destination is unroutable from this process.
+func (d *Device) RouteTo(dst int) (Route, bool) {
+	rt, ok := d.routes[dst]
+	return rt, ok
+}
+
+// RouteNet returns the network metadata of the channel that carries
+// traffic toward dst: the channel name and its calibrated cost model.
+// Topology-aware layers (hierarchy discovery, tuning tables, diagnostics)
+// use it to tell fast intra-cluster routes from slow backbone ones.
+func (d *Device) RouteNet(dst int) (name string, params netsim.Params, ok bool) {
+	rt, ok := d.routes[dst]
+	if !ok || rt.Channel == nil {
+		return "", netsim.Params{}, false
+	}
+	return rt.Channel.Name, rt.Channel.Params, true
+}
 
 // ElectSwitchPoint applies the §4.2.2 policy to pick the device's single
 // threshold: "the switch point value for the ch_mad device is 8 KB if SCI

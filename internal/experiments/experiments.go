@@ -319,6 +319,102 @@ func Forwarding() (*Result, error) {
 		'a', []*stats.Series{direct, series}), nil
 }
 
+// HierCollectives (X4) compares the flat (topology-blind) and two-level
+// (hierarchy-aware) collective algorithms on a two-cluster heterogeneous
+// topology: two 4-node SCI islands joined by a TCP backbone, with node
+// declarations interleaved so consecutive ranks alternate islands (the
+// adversarial placement for a flat binomial tree). Reported value is the
+// per-operation completion time at rank 0.
+func HierCollectives() (*Result, error) {
+	sizes := []int{8, 256, 4 << 10, 64 << 10, 256 << 10}
+	topo := hierTopo()
+	type bench struct {
+		name string
+		mode mpi.CollMode
+		op   func(comm *mpi.Comm, buf, big []byte, size int) error
+	}
+	benches := []bench{
+		{"Bcast_flat", mpi.CollFlat, func(comm *mpi.Comm, buf, _ []byte, size int) error {
+			return comm.Bcast(buf[:size], size, mpi.Byte, 0)
+		}},
+		{"Bcast_2level", mpi.CollHier, func(comm *mpi.Comm, buf, _ []byte, size int) error {
+			return comm.Bcast(buf[:size], size, mpi.Byte, 0)
+		}},
+		{"Allreduce_flat", mpi.CollFlat, func(comm *mpi.Comm, buf, big []byte, size int) error {
+			return comm.Allreduce(buf[:size], big[:size], size, mpi.Byte, mpi.OpMax)
+		}},
+		{"Allreduce_2level", mpi.CollHier, func(comm *mpi.Comm, buf, big []byte, size int) error {
+			return comm.Allreduce(buf[:size], big[:size], size, mpi.Byte, mpi.OpMax)
+		}},
+		{"Allgather_flat", mpi.CollFlat, func(comm *mpi.Comm, buf, big []byte, size int) error {
+			return comm.Allgather(buf[:size], big[:size*comm.Size()], size, mpi.Byte)
+		}},
+		{"Allgather_2level", mpi.CollHier, func(comm *mpi.Comm, buf, big []byte, size int) error {
+			return comm.Allgather(buf[:size], big[:size*comm.Size()], size, mpi.Byte)
+		}},
+	}
+	var series []*stats.Series
+	for _, bm := range benches {
+		s := &stats.Series{Name: bm.name}
+		for _, size := range sizes {
+			sess, err := cluster.Build(topo)
+			if err != nil {
+				return nil, err
+			}
+			for _, rk := range sess.Ranks {
+				rk.MPI.SetCollMode(bm.mode)
+			}
+			size := size
+			op := bm.op
+			var perOp vtime.Duration
+			err = sess.Run(func(rank int, comm *mpi.Comm) error {
+				buf := make([]byte, size)
+				big := make([]byte, size*comm.Size())
+				const iters = 3
+				start := sess.S.Now()
+				for i := 0; i < iters; i++ {
+					if err := op(comm, buf, big, size); err != nil {
+						return err
+					}
+				}
+				if rank == 0 {
+					perOp = sess.S.Now().Sub(start) / iters
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(size, perOp)
+		}
+		series = append(series, s)
+	}
+	return render("hcoll",
+		"Extension X4: flat vs two-level collectives on a 2x4-rank cluster-of-clusters",
+		'a', series), nil
+}
+
+// hierTopo is the X4 benchmark topology: two SCI islands, interleaved
+// rank placement, TCP backbone.
+func hierTopo() cluster.Topology {
+	var nodes []cluster.NodeSpec
+	var a, b, all []string
+	for i := 0; i < 4; i++ {
+		an, bn := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		nodes = append(nodes, cluster.NodeSpec{Name: an, Procs: 1}, cluster.NodeSpec{Name: bn, Procs: 1})
+		a, b = append(a, an), append(b, bn)
+		all = append(all, an, bn)
+	}
+	return cluster.Topology{
+		Nodes: nodes,
+		Networks: []cluster.NetworkSpec{
+			{Name: "sciA", Protocol: "sisci", Nodes: a},
+			{Name: "sciB", Protocol: "sisci", Nodes: b},
+			{Name: "wan", Protocol: "tcp", Nodes: all},
+		},
+	}
+}
+
 func render(id, title string, part byte, series []*stats.Series) *Result {
 	var text string
 	if part == 'a' {
@@ -347,6 +443,7 @@ func All() ([]*Result, error) {
 		AblationSwitchPoint,
 		AblationHeaderSplit,
 		Forwarding,
+		HierCollectives,
 	}
 	for _, g := range gens {
 		r, err := g()
@@ -387,6 +484,8 @@ func ByID(id string) (*Result, error) {
 		return AblationHeaderSplit()
 	case "forwarding":
 		return Forwarding()
+	case "hcoll":
+		return HierCollectives()
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q (see DESIGN.md experiment index)", id)
 }

@@ -13,16 +13,35 @@ const (
 	tagAllgather
 	tagAlltoall
 	tagScan
+	// Hierarchical (two-level) collective phases use their own tags so a
+	// leader's backbone exchange can never be matched by an intra-cluster
+	// receive of the same operation (see hcoll.go).
+	tagHBarrier
+	tagHBcast
+	tagHReduce
+	tagHGather  // member -> cluster leader
+	tagHGatherB // cluster leader -> root (staged bundle)
+	tagHAllgather
 )
 
 func (c *Comm) collCtx() int { return c.ctx + 1 }
 
 // Barrier blocks until all members have entered it (MPI_Barrier).
-// Dissemination algorithm: ceil(log2 n) rounds of 0-byte exchanges.
+// Dispatches to the two-level fan-in/fan-out tree on multi-cluster
+// topologies, otherwise to the flat dissemination algorithm.
 func (c *Comm) Barrier() error {
 	if err := c.checkLive("Barrier"); err != nil {
 		return err
 	}
+	if c.chooseAlgo(kindBarrier, 0) != algoFlat {
+		return c.barrierHier()
+	}
+	return c.barrierFlat()
+}
+
+// barrierFlat is the dissemination algorithm: ceil(log2 n) rounds of
+// 0-byte exchanges.
+func (c *Comm) barrierFlat() error {
 	n := c.Size()
 	for k := 1; k < n; k <<= 1 {
 		to := (c.myRank + k) % n
@@ -38,7 +57,9 @@ func (c *Comm) Barrier() error {
 }
 
 // Bcast broadcasts count elements of dt from root to every member
-// (MPI_Bcast). Binomial tree: latency O(log n).
+// (MPI_Bcast). Dispatches through the tuning table: two-level tree on
+// multi-cluster topologies (pipelined in segments for large payloads),
+// flat binomial tree otherwise.
 func (c *Comm) Bcast(buf []byte, count int, dt Datatype, root int) error {
 	if err := c.checkLive("Bcast"); err != nil {
 		return err
@@ -46,10 +67,21 @@ func (c *Comm) Bcast(buf []byte, count int, dt Datatype, root int) error {
 	if err := c.checkPeer("Bcast", root); err != nil {
 		return err
 	}
-	n := c.Size()
-	if n == 1 {
+	if c.Size() == 1 {
 		return nil
 	}
+	switch c.chooseAlgo(kindBcast, count*dt.Size()) {
+	case algoHier:
+		return c.bcastHier(buf, count, dt, root, 0)
+	case algoHierSegmented:
+		return c.bcastHier(buf, count, dt, root, c.segmentBytes())
+	}
+	return c.bcastFlat(buf, count, dt, root)
+}
+
+// bcastFlat is the topology-blind binomial tree: latency O(log n).
+func (c *Comm) bcastFlat(buf []byte, count int, dt Datatype, root int) error {
+	n := c.Size()
 	rel := (c.myRank - root + n) % n
 	var data []byte
 	if rel == 0 {
@@ -87,7 +119,8 @@ func (c *Comm) Bcast(buf []byte, count int, dt Datatype, root int) error {
 }
 
 // Reduce combines count elements from every member's sendBuf with op,
-// leaving the result in root's recvBuf (MPI_Reduce). Binomial tree.
+// leaving the result in root's recvBuf (MPI_Reduce). Dispatches to the
+// two-level tree on multi-cluster topologies, flat binomial otherwise.
 func (c *Comm) Reduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) error {
 	if err := c.checkLive("Reduce"); err != nil {
 		return err
@@ -95,6 +128,14 @@ func (c *Comm) Reduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, ro
 	if err := c.checkPeer("Reduce", root); err != nil {
 		return err
 	}
+	if c.chooseAlgo(kindReduce, count*dt.Size()) != algoFlat {
+		return c.reduceHier(sendBuf, recvBuf, count, dt, op, root)
+	}
+	return c.reduceFlat(sendBuf, recvBuf, count, dt, op, root)
+}
+
+// reduceFlat is the topology-blind binomial reduction tree.
+func (c *Comm) reduceFlat(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) error {
 	n := c.Size()
 	acc := make([]byte, count*dt.Size())
 	copy(acc, PackBuf(sendBuf, count, dt))
@@ -129,17 +170,38 @@ func (c *Comm) Reduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, ro
 	return nil
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast (MPI_Allreduce).
+// Allreduce is Reduce to rank 0 followed by Bcast (MPI_Allreduce). On
+// multi-cluster topologies both halves run two-level, so the backbone
+// carries one reduced vector per cluster in each direction.
 func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) error {
-	if err := c.Reduce(sendBuf, recvBuf, count, dt, op, 0); err != nil {
+	if err := c.checkLive("Allreduce"); err != nil {
 		return err
 	}
-	return c.Bcast(recvBuf, count, dt, 0)
+	if c.chooseAlgo(kindAllreduce, count*dt.Size()) != algoFlat {
+		return c.allreduceHier(sendBuf, recvBuf, count, dt, op)
+	}
+	if err := c.reduceFlat(sendBuf, recvBuf, count, dt, op, 0); err != nil {
+		return err
+	}
+	return c.bcastFlat(recvBuf, count, dt, 0)
 }
 
 // Gather collects count elements from every member into root's recvBuf,
 // ordered by rank (MPI_Gather). recvBuf needs size*count elements at root.
+// On multi-cluster topologies small gathers stage through cluster leaders
+// so the backbone carries one bundle per cluster instead of one message
+// per rank; large gathers fall back to the flat path (the staging copy
+// outweighs the saved message setups).
 func (c *Comm) Gather(sendBuf []byte, recvBuf []byte, count int, dt Datatype, root int) error {
+	if err := c.checkLive("Gather"); err != nil {
+		return err
+	}
+	if err := c.checkPeer("Gather", root); err != nil {
+		return err
+	}
+	if c.chooseAlgo(kindGather, count*dt.Size()) != algoFlat {
+		return c.gatherHier(sendBuf, recvBuf, count, dt, root)
+	}
 	counts := make([]int, c.Size())
 	for i := range counts {
 		counts[i] = count
@@ -243,12 +305,22 @@ func (c *Comm) Scatterv(sendBuf []byte, counts, displs []int, recvBuf []byte, re
 }
 
 // Allgather gathers count elements from each member into every member's
-// recvBuf in rank order (MPI_Allgather). Ring algorithm: n-1 steps, each
-// forwarding the block received in the previous step.
+// recvBuf in rank order (MPI_Allgather). Dispatches to leader staging on
+// multi-cluster topologies; otherwise the flat ring algorithm, whose n-1
+// steps each cross the backbone once per inter-cluster ring edge.
 func (c *Comm) Allgather(sendBuf []byte, recvBuf []byte, count int, dt Datatype) error {
 	if err := c.checkLive("Allgather"); err != nil {
 		return err
 	}
+	if c.chooseAlgo(kindAllgather, count*dt.Size()) != algoFlat {
+		return c.allgatherHier(sendBuf, recvBuf, count, dt)
+	}
+	return c.allgatherFlat(sendBuf, recvBuf, count, dt)
+}
+
+// allgatherFlat is the ring algorithm: n-1 steps, each forwarding the
+// block received in the previous step.
+func (c *Comm) allgatherFlat(sendBuf []byte, recvBuf []byte, count int, dt Datatype) error {
 	n := c.Size()
 	sz := count * dt.Size()
 	ex := dt.Extent()

@@ -38,6 +38,11 @@ type Process struct {
 	// ranks is established collectively at communicator creation.
 	nextCtx int
 
+	// hier is the discovered cluster structure (nil: flat collectives
+	// only) and collMode the algorithm-selection override; see topology.go.
+	hier     *Hierarchy
+	collMode CollMode
+
 	memcpyBW  float64
 	finalized bool
 }
@@ -101,6 +106,10 @@ type Comm struct {
 	group  []int // comm rank -> world rank
 	myRank int   // my rank within the communicator
 	ctx    int
+
+	// ct caches the communicator's dense hierarchy view (topology.go),
+	// computed on first collective dispatch.
+	ct *commTopo
 }
 
 // Rank returns the calling process's rank within the communicator.

@@ -1,0 +1,301 @@
+package mpi
+
+// Two-level (hierarchy-aware) collective algorithms. Each operation runs
+// an intra-cluster binomial phase on the fast fabric plus a single
+// leader-level exchange over the slow backbone, so the number of
+// inter-cluster messages is O(#clusters) instead of O(log n) (or O(n) for
+// adversarial rank placements). See topology.go for the selection logic.
+
+// binomialOver computes a binomial tree over an explicit rank list rooted
+// at position rootPos, returning myPos's parent (-1 at the root) and
+// children (largest stride first, matching the flat binomial fan-out).
+func binomialOver(members []int, rootPos, myPos int) (parent int, children []int) {
+	parent = -1
+	n := len(members)
+	rel := (myPos - rootPos + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent = members[(rel-mask+rootPos)%n]
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			children = append(children, members[(rel+mask+rootPos)%n])
+		}
+		mask >>= 1
+	}
+	return parent, children
+}
+
+// barrierHier: fan-in then fan-out over the two-level tree rooted at
+// comm rank 0. The slow backbone carries exactly 2·(#clusters−1) empty
+// messages, versus the dissemination algorithm's n·ceil(log2 n).
+func (c *Comm) barrierHier() error {
+	parent, children := c.topo().twoLevelTree(c.myRank, 0)
+	// Fan-in: intra-cluster children first (they are cheap), backbone last.
+	for i := len(children) - 1; i >= 0; i-- {
+		if _, err := c.recvRaw(nil, children[i], tagHBarrier, c.collCtx()); err != nil {
+			return err
+		}
+	}
+	if parent >= 0 {
+		if err := c.sendRaw(nil, parent, tagHBarrier, c.collCtx()); err != nil {
+			return err
+		}
+		if _, err := c.recvRaw(nil, parent, tagHBarrier, c.collCtx()); err != nil {
+			return err
+		}
+	}
+	for _, ch := range children {
+		if err := c.sendRaw(nil, ch, tagHBarrier, c.collCtx()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bcastHier broadcasts through the two-level tree, optionally pipelining
+// the payload in segBytes segments (segBytes <= 0 disables segmentation).
+// Segments ride the eager path, so a rank can forward segment k to its
+// children while its parent is already injecting segment k+1: the slow
+// backbone transfer overlaps the fast intra-cluster fan-out, which is the
+// point of the paper's store-and-forward §6 scenario.
+func (c *Comm) bcastHier(buf []byte, count int, dt Datatype, root, segBytes int) error {
+	parent, children := c.topo().twoLevelTree(c.myRank, root)
+	total := count * dt.Size()
+	var data []byte
+	if c.myRank == root {
+		data = PackBuf(buf, count, dt)
+	} else {
+		data = make([]byte, total)
+	}
+	seg := segBytes
+	if seg <= 0 || seg > total {
+		seg = total
+	}
+	nseg := 1
+	if seg > 0 {
+		nseg = (total + seg - 1) / seg
+	}
+	for s := 0; s < nseg; s++ {
+		lo := s * seg
+		hi := lo + seg
+		if hi > total {
+			hi = total
+		}
+		chunk := data[lo:hi]
+		if parent >= 0 {
+			if _, err := c.recvRaw(chunk, parent, tagHBcast, c.collCtx()); err != nil {
+				return err
+			}
+		}
+		for _, ch := range children {
+			if err := c.sendRaw(chunk, ch, tagHBcast, c.collCtx()); err != nil {
+				return err
+			}
+		}
+	}
+	if c.myRank != root {
+		c.p.M.Compute(c.p.memTime(total))
+		UnpackBuf(buf, count, dt, data)
+	}
+	return nil
+}
+
+// reduceHier reduces along the reversed two-level tree: every rank folds
+// its children's partials into its accumulator (intra-cluster children
+// first, so the single backbone message carries a fully reduced cluster
+// contribution) and forwards one message to its parent.
+func (c *Comm) reduceHier(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) error {
+	parent, children := c.topo().twoLevelTree(c.myRank, root)
+	acc := make([]byte, count*dt.Size())
+	copy(acc, PackBuf(sendBuf, count, dt))
+	c.p.M.Compute(c.p.memTime(len(acc)))
+	for i := len(children) - 1; i >= 0; i-- {
+		part := make([]byte, len(acc))
+		if _, err := c.recvRaw(part, children[i], tagHReduce, c.collCtx()); err != nil {
+			return err
+		}
+		if err := op.Apply(acc, part, count, dt); err != nil {
+			return err
+		}
+	}
+	if parent >= 0 {
+		return c.sendRaw(acc, parent, tagHReduce, c.collCtx())
+	}
+	c.p.M.Compute(c.p.memTime(len(acc)))
+	UnpackBuf(recvBuf, count, dt, acc)
+	return nil
+}
+
+// allreduceHier is reduce-to-0 plus broadcast-from-0, both two-level: the
+// backbone carries one reduced vector per cluster inbound and one result
+// vector per cluster outbound — once per slow link per direction.
+func (c *Comm) allreduceHier(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) error {
+	if err := c.reduceHier(sendBuf, recvBuf, count, dt, op, 0); err != nil {
+		return err
+	}
+	return c.bcastHier(recvBuf, count, dt, 0, c.bcastSegment(count*dt.Size()))
+}
+
+// gatherHier gathers via cluster-leader staging: members send their block
+// to their cluster's operation leader (the root stands in for its own
+// cluster), each leader concatenates its cluster's blocks in rank order
+// and ships one bundle to the root over the backbone.
+func (c *Comm) gatherHier(sendBuf, recvBuf []byte, count int, dt Datatype, root int) error {
+	ct := c.topo()
+	sz := count * dt.Size()
+	ex := dt.Extent()
+
+	rootCluster := ct.clusterOf[root]
+	leader := ct.leaders[ct.myCluster]
+	if ct.myCluster == rootCluster {
+		leader = root
+	}
+	mine := PackBuf(sendBuf, count, dt)
+
+	if c.myRank != leader {
+		return c.sendRaw(mine, leader, tagHGather, c.collCtx())
+	}
+
+	// Leader: stage my cluster's blocks, in ascending comm-rank order.
+	members := ct.clusters[ct.myCluster]
+	bundle := make([]byte, len(members)*sz)
+	for i, m := range members {
+		slot := bundle[i*sz : (i+1)*sz]
+		if m == c.myRank {
+			c.p.M.Compute(c.p.memTime(sz))
+			copy(slot, mine)
+			continue
+		}
+		if _, err := c.recvRaw(slot, m, tagHGather, c.collCtx()); err != nil {
+			return err
+		}
+	}
+	if c.myRank != root {
+		return c.sendRaw(bundle, root, tagHGatherB, c.collCtx())
+	}
+
+	// Root: place my own cluster's bundle, then one bundle per remote
+	// cluster leader, scattered to each member's slot in recvBuf.
+	place := func(di int, b []byte) {
+		for i, m := range ct.clusters[di] {
+			UnpackBuf(recvBuf[m*count*ex:], count, dt, b[i*sz:(i+1)*sz])
+		}
+	}
+	place(ct.myCluster, bundle)
+	for di := 0; di < ct.nClusters; di++ {
+		if di == ct.myCluster {
+			continue
+		}
+		remoteLeader := ct.leaders[di]
+		rb := make([]byte, len(ct.clusters[di])*sz)
+		if _, err := c.recvRaw(rb, remoteLeader, tagHGatherB, c.collCtx()); err != nil {
+			return err
+		}
+		c.p.M.Compute(c.p.memTime(len(rb)))
+		place(di, rb)
+	}
+	return nil
+}
+
+// allgatherHier: intra-cluster gather to the leader, a direct bundle
+// exchange among leaders (receives pre-posted, so concurrent rendez-vous
+// sends cannot deadlock), then an intra-cluster broadcast of the fully
+// assembled vector.
+func (c *Comm) allgatherHier(sendBuf, recvBuf []byte, count int, dt Datatype) error {
+	ct := c.topo()
+	n := c.Size()
+	sz := count * dt.Size()
+	ex := dt.Extent()
+
+	members := ct.clusters[ct.myCluster]
+	leader := ct.leaders[ct.myCluster]
+	myPos, leaderPos := 0, 0
+	for i, m := range members {
+		if m == c.myRank {
+			myPos = i
+		}
+		if m == leader {
+			leaderPos = i
+		}
+	}
+	mine := PackBuf(sendBuf, count, dt)
+
+	full := make([]byte, n*sz) // packed world vector, comm-rank order
+	if c.myRank == leader {
+		bundle := make([]byte, len(members)*sz)
+		for i, m := range members {
+			slot := bundle[i*sz : (i+1)*sz]
+			if m == c.myRank {
+				c.p.M.Compute(c.p.memTime(sz))
+				copy(slot, mine)
+				continue
+			}
+			if _, err := c.recvRaw(slot, m, tagHAllgather, c.collCtx()); err != nil {
+				return err
+			}
+		}
+		// Leader exchange: every leader ships its cluster bundle to every
+		// other leader; L·(L−1) backbone messages total, one per directed
+		// leader pair.
+		bundles := make([][]byte, ct.nClusters)
+		bundles[ct.myCluster] = bundle
+		reqs := make([]*Request, 0, ct.nClusters-1)
+		for di := 0; di < ct.nClusters; di++ {
+			if di == ct.myCluster {
+				continue
+			}
+			bundles[di] = make([]byte, len(ct.clusters[di])*sz)
+			req, err := c.irecvRaw(bundles[di], ct.leaders[di], tagHAllgather)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		for di := 0; di < ct.nClusters; di++ {
+			if di == ct.myCluster {
+				continue
+			}
+			if err := c.sendRaw(bundle, ct.leaders[di], tagHAllgather, c.collCtx()); err != nil {
+				return err
+			}
+		}
+		if err := WaitAll(reqs...); err != nil {
+			return err
+		}
+		for di := 0; di < ct.nClusters; di++ {
+			for i, m := range ct.clusters[di] {
+				copy(full[m*sz:(m+1)*sz], bundles[di][i*sz:(i+1)*sz])
+			}
+		}
+		c.p.M.Compute(c.p.memTime(n * sz))
+	} else {
+		if err := c.sendRaw(mine, leader, tagHAllgather, c.collCtx()); err != nil {
+			return err
+		}
+	}
+
+	// Intra-cluster broadcast of the assembled vector.
+	parent, children := binomialOver(members, leaderPos, myPos)
+	if parent >= 0 {
+		if _, err := c.recvRaw(full, parent, tagHAllgather, c.collCtx()); err != nil {
+			return err
+		}
+	}
+	for _, ch := range children {
+		if err := c.sendRaw(full, ch, tagHAllgather, c.collCtx()); err != nil {
+			return err
+		}
+	}
+
+	c.p.M.Compute(c.p.memTime(n * sz))
+	for r := 0; r < n; r++ {
+		UnpackBuf(recvBuf[r*count*ex:], count, dt, full[r*sz:(r+1)*sz])
+	}
+	return nil
+}

@@ -139,6 +139,213 @@ func TestBcastGatherRoundtripProperty(t *testing.T) {
 	}
 }
 
+// twoClusterTopo builds the adversarial heterogeneous shape for the
+// hierarchy tests: two SCI islands joined by a TCP backbone, with node
+// declarations interleaved so consecutive ranks alternate clusters (the
+// worst case for a topology-blind binomial tree).
+func twoClusterTopo(nA, nB int) cluster.Topology {
+	var nodes []cluster.NodeSpec
+	var aNodes, bNodes, all []string
+	for i := 0; i < nA || i < nB; i++ {
+		if i < nA {
+			name := fmt.Sprintf("a%d", i)
+			nodes = append(nodes, cluster.NodeSpec{Name: name, Procs: 1})
+			aNodes = append(aNodes, name)
+			all = append(all, name)
+		}
+		if i < nB {
+			name := fmt.Sprintf("b%d", i)
+			nodes = append(nodes, cluster.NodeSpec{Name: name, Procs: 1})
+			bNodes = append(bNodes, name)
+			all = append(all, name)
+		}
+	}
+	return cluster.Topology{
+		Nodes: nodes,
+		Networks: []cluster.NetworkSpec{
+			{Name: "sciA", Protocol: "sisci", Nodes: aNodes},
+			{Name: "sciB", Protocol: "sisci", Nodes: bNodes},
+			{Name: "wan", Protocol: "tcp", Nodes: all},
+		},
+	}
+}
+
+// collectiveOutputs runs the full collective suite once on a two-cluster
+// session with the given algorithm selection forced, and returns every
+// observable output buffer, keyed for comparison.
+func collectiveOutputs(t *testing.T, nA, nB int, mode mpi.CollMode,
+	seed byte, count, root int, op mpi.Op) map[string][]byte {
+	t.Helper()
+	n := nA + nB
+	sess, err := cluster.Build(twoClusterTopo(nA, nB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Hierarchy().NumClusters(); got != 2 {
+		t.Fatalf("expected 2 clusters, discovered %d", got)
+	}
+	for _, rk := range sess.Ranks {
+		rk.MPI.SetCollMode(mode)
+	}
+	out := make(map[string][]byte)
+	record := func(what string, rank int, buf []byte) {
+		out[fmt.Sprintf("%s/r%d", what, rank)] = append([]byte(nil), buf...)
+	}
+	input := func(rank int) []int64 {
+		v := make([]int64, count)
+		for i := range v {
+			v[i] = int64((int(seed)+rank*11+i*5)%9) - 4 // small: OpProd stays exact
+		}
+		return v
+	}
+	err = sess.Run(func(rank int, comm *mpi.Comm) error {
+		// Bcast
+		buf := make([]byte, 8*count)
+		if rank == root {
+			copy(buf, mpi.Int64Bytes(input(rank)))
+		}
+		if err := comm.Bcast(buf, count, mpi.Int64, root); err != nil {
+			return err
+		}
+		record("bcast", rank, buf)
+		// Reduce
+		red := make([]byte, 8*count)
+		if err := comm.Reduce(mpi.Int64Bytes(input(rank)), red, count, mpi.Int64, op, root); err != nil {
+			return err
+		}
+		if rank == root {
+			record("reduce", rank, red)
+		}
+		// Allreduce
+		all := make([]byte, 8*count)
+		if err := comm.Allreduce(mpi.Int64Bytes(input(rank)), all, count, mpi.Int64, op); err != nil {
+			return err
+		}
+		record("allreduce", rank, all)
+		// Gather
+		gat := make([]byte, 8*count*n)
+		if err := comm.Gather(mpi.Int64Bytes(input(rank)), gat, count, mpi.Int64, root); err != nil {
+			return err
+		}
+		if rank == root {
+			record("gather", rank, gat)
+		}
+		// Allgather
+		ag := make([]byte, 8*count*n)
+		if err := comm.Allgather(mpi.Int64Bytes(input(rank)), ag, count, mpi.Int64); err != nil {
+			return err
+		}
+		record("allgather", rank, ag)
+		// Barrier (observable only through completion)
+		return comm.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestHierFlatEquivalence: for randomized cluster shapes, payload sizes,
+// roots and reduction ops, the two-level collectives produce byte-identical
+// results to the flat reference algorithms.
+func TestHierFlatEquivalence(t *testing.T) {
+	f := func(seed, shapeA, shapeB, rootSel, opIdx, length uint8) bool {
+		ops := []mpi.Op{mpi.OpSum, mpi.OpMax, mpi.OpMin, mpi.OpProd}
+		nA := int(shapeA)%3 + 1
+		nB := int(shapeB)%3 + 1
+		root := int(rootSel) % (nA + nB)
+		op := ops[int(opIdx)%len(ops)]
+		count := int(length)%7 + 1
+		flat := collectiveOutputs(t, nA, nB, mpi.CollFlat, byte(seed), count, root, op)
+		hier := collectiveOutputs(t, nA, nB, mpi.CollHier, byte(seed), count, root, op)
+		if len(flat) != len(hier) {
+			t.Errorf("output key sets differ: flat %d, hier %d", len(flat), len(hier))
+			return false
+		}
+		for k, fv := range flat {
+			hv, ok := hier[k]
+			if !ok {
+				t.Errorf("hier missing output %s", k)
+				return false
+			}
+			if string(fv) != string(hv) {
+				t.Errorf("shape %d+%d root %d op %s count %d: %s differs: flat %v hier %v",
+					nA, nB, root, op.Name(), count, k, mpi.BytesInt64(fv), mpi.BytesInt64(hv))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierSegmentedBcastLarge: a payload well past the rendez-vous switch
+// point takes the segmented pipeline; the received bytes must survive the
+// store-and-forward re-segmentation on every rank.
+func TestHierSegmentedBcastLarge(t *testing.T) {
+	const sz = 192 << 10 // > 2 segments at the 8 KB backbone segment
+	sess, err := cluster.Build(twoClusterTopo(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sess.Run(func(rank int, comm *mpi.Comm) error {
+		buf := make([]byte, sz)
+		if rank == 1 { // non-leader root exercises the root-as-leader remap
+			for i := range buf {
+				buf[i] = byte(i * 31 / 7)
+			}
+		}
+		if err := comm.Bcast(buf, sz, mpi.Byte, 1); err != nil {
+			return err
+		}
+		for i := range buf {
+			if buf[i] != byte(i*31/7) {
+				return fmt.Errorf("rank %d: byte %d corrupted after segmented bcast", rank, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierSplitSubComm: hierarchy awareness must survive Comm.Split — a
+// sub-communicator spanning both islands still reduces correctly through
+// its own dense leader structure.
+func TestHierSplitSubComm(t *testing.T) {
+	sess, err := cluster.Build(twoClusterTopo(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rk := range sess.Ranks {
+		rk.MPI.SetCollMode(mpi.CollHier)
+	}
+	err = sess.Run(func(rank int, comm *mpi.Comm) error {
+		sub, err := comm.Split(rank%2, rank)
+		if err != nil {
+			return err
+		}
+		out := make([]byte, 8)
+		if err := sub.Allreduce(mpi.Int64Bytes([]int64{int64(rank)}), out, 1, mpi.Int64, mpi.OpSum); err != nil {
+			return err
+		}
+		var want int64
+		for r := rank % 2; r < comm.Size(); r += 2 {
+			want += int64(r)
+		}
+		if got := mpi.BytesInt64(out)[0]; got != want {
+			return fmt.Errorf("rank %d: sub-comm allreduce = %d, want %d", rank, got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestAlltoallInverseProperty: Alltoall applied twice with transposed
 // writes restores the original matrix row.
 func TestAlltoallInverseProperty(t *testing.T) {

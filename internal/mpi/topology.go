@@ -1,0 +1,262 @@
+// Topology-aware collectives: hierarchy discovery metadata and the
+// MPICH-style tuning table that selects between flat (topology-blind) and
+// two-level (cluster-of-clusters) collective algorithms.
+//
+// The paper's motivating configuration is a federation of clusters whose
+// intra-cluster fabrics (SISCI/SCI, BIP/Myrinet) are one to two orders of
+// magnitude faster than the inter-cluster backbone (TCP/Fast-Ethernet).
+// A flat binomial tree is oblivious to that gap: its tree edges cross the
+// slow backbone O(log n) — and for unlucky rank placements O(n) — times
+// per operation. The two-level algorithms in hcoll.go instead run a fast
+// binomial phase inside each cluster and exchange data between designated
+// cluster leaders exactly once per slow link per direction.
+//
+// The cluster session (internal/cluster) discovers the hierarchy from the
+// declarative topology — which nodes share a fast network — and installs
+// it on every rank's Process via SetHierarchy. Communicators derive their
+// own dense view (commTopo) lazily, so Split/Dup sub-communicators get
+// hierarchy awareness for free. Selection between algorithms goes through
+// a small tuning table (message size × topology shape → algorithm),
+// mirroring MPICH's coll_tuned framework; the flat algorithms remain both
+// the single-cluster fast path and the cross-check reference for the
+// equivalence property tests.
+package mpi
+
+// Link describes one network class of the hierarchy in plain numbers
+// (derived from the netsim cost model by the cluster session), enough for
+// the tuning table to reason about latency/bandwidth tradeoffs without
+// depending on the simulator.
+type Link struct {
+	// Net is the network name from the topology (e.g. "sci", "ethernet").
+	Net string
+	// LatencyUS is the one-way wire latency in microseconds.
+	LatencyUS float64
+	// BandwidthMBs is the sustained bandwidth in paper MB/s (2^20 B).
+	BandwidthMBs float64
+	// SegmentBytes is the recommended pipeline segment size for
+	// store-and-forward stages over this link (netsim.Params.PipelineSegment).
+	SegmentBytes int
+}
+
+// Hierarchy is the per-job cluster structure, indexed by world rank. It is
+// immutable after MPI_Init; all ranks hold identical copies.
+type Hierarchy struct {
+	// ClusterOf maps world rank -> cluster index.
+	ClusterOf []int
+	// ClusterNames names each cluster after its fast network.
+	ClusterNames []string
+	// Intra describes each cluster's fast fabric.
+	Intra []Link
+	// Inter describes the slow inter-cluster backbone. Zero-valued when
+	// the job spans a single cluster.
+	Inter Link
+}
+
+// NumClusters returns the number of clusters in the hierarchy.
+func (h *Hierarchy) NumClusters() int { return len(h.ClusterNames) }
+
+// SetHierarchy installs the discovered cluster structure on this rank.
+// Called by the cluster session between wiring and the first collective;
+// nil (the default) keeps every collective on the flat algorithms.
+func (p *Process) SetHierarchy(h *Hierarchy) { p.hier = h }
+
+// Hierarchy returns the installed cluster structure (nil if none).
+func (p *Process) Hierarchy() *Hierarchy { return p.hier }
+
+// CollMode forces or frees the collective algorithm selection (tests,
+// benchmarks, ablations).
+type CollMode int
+
+const (
+	// CollAuto consults the tuning table (the default).
+	CollAuto CollMode = iota
+	// CollFlat forces the topology-blind algorithms.
+	CollFlat
+	// CollHier forces the two-level algorithms whenever the communicator
+	// spans more than one cluster.
+	CollHier
+)
+
+// SetCollMode overrides collective algorithm selection for this rank.
+// Every rank of a communicator must use the same mode.
+func (p *Process) SetCollMode(m CollMode) { p.collMode = m }
+
+// CollMode returns the current selection mode.
+func (p *Process) CollMode() CollMode { return p.collMode }
+
+// commTopo is a communicator's dense view of the hierarchy: cluster
+// membership restricted to the communicator's group and re-indexed.
+type commTopo struct {
+	nClusters int
+	clusterOf []int   // comm rank -> dense cluster index
+	clusters  [][]int // dense cluster index -> comm ranks, ascending
+	leaders   []int   // dense cluster index -> lowest comm rank
+	myCluster int
+}
+
+// topo returns the communicator's cached dense hierarchy view, or nil when
+// no hierarchy is installed.
+func (c *Comm) topo() *commTopo {
+	if c.ct != nil {
+		return c.ct
+	}
+	h := c.p.hier
+	if h == nil {
+		return nil
+	}
+	ct := &commTopo{clusterOf: make([]int, len(c.group))}
+	dense := make(map[int]int) // world cluster id -> dense index
+	for r, w := range c.group {
+		wc := 0
+		if w < len(h.ClusterOf) {
+			wc = h.ClusterOf[w]
+		}
+		di, ok := dense[wc]
+		if !ok {
+			di = len(ct.clusters)
+			dense[wc] = di
+			ct.clusters = append(ct.clusters, nil)
+			// r ascends, so the first member seen is the cluster's
+			// lowest comm rank: its leader.
+			ct.leaders = append(ct.leaders, r)
+		}
+		ct.clusterOf[r] = di
+		ct.clusters[di] = append(ct.clusters[di], r)
+	}
+	ct.nClusters = len(ct.clusters)
+	ct.myCluster = ct.clusterOf[c.myRank]
+	c.ct = ct
+	return ct
+}
+
+// collAlgo is one row outcome of the tuning table.
+type collAlgo int
+
+const (
+	algoFlat collAlgo = iota
+	algoHier
+	algoHierSegmented // two-level with pipelined segments (Bcast only)
+)
+
+// collKind indexes the tuning table by operation.
+type collKind int
+
+const (
+	kindBarrier collKind = iota
+	kindBcast
+	kindReduce
+	kindAllreduce
+	kindGather
+	kindAllgather
+)
+
+// defaultSegmentBytes bounds the pipelined-broadcast segment when the
+// hierarchy carries no backbone estimate.
+const defaultSegmentBytes = 8 << 10
+
+// segmentBytes returns the pipeline segment for hierarchical broadcast:
+// the backbone's recommended segment, clamped so segments stay on the
+// ch_mad eager path (at or below the rendez-vous switch point) and keep
+// the store-and-forward pipeline busy.
+func (c *Comm) segmentBytes() int {
+	seg := defaultSegmentBytes
+	if h := c.p.hier; h != nil && h.Inter.SegmentBytes > 0 {
+		seg = h.Inter.SegmentBytes
+	}
+	return seg
+}
+
+// bcastSegment is the single source of the broadcast segmentation rule:
+// the segment size to pipeline a total-byte payload with, or 0 when the
+// payload is too small for segmentation to pay off. Deterministic in
+// (total, hierarchy), so every rank picks the same shape.
+func (c *Comm) bcastSegment(total int) int {
+	if seg := c.segmentBytes(); total > 2*seg {
+		return seg
+	}
+	return 0
+}
+
+// chooseAlgo is the tuning-table lookup: operation kind and message size
+// (total payload bytes) to algorithm, given the communicator's shape.
+// Mirrors MPICH's coll_tuned decision functions: thresholds first, with
+// the flat algorithms as the universal fallback.
+func (c *Comm) chooseAlgo(kind collKind, nBytes int) collAlgo {
+	ct := c.topo()
+	if ct == nil || ct.nClusters < 2 {
+		return algoFlat // single cluster: the flat tree already runs on the fast fabric
+	}
+	switch c.p.collMode {
+	case CollFlat:
+		return algoFlat
+	case CollHier:
+		if kind == kindBcast && c.bcastSegment(nBytes) > 0 {
+			return algoHierSegmented
+		}
+		return algoHier
+	}
+	switch kind {
+	case kindBarrier, kindReduce, kindAllreduce, kindAllgather:
+		// Leader aggregation always reduces slow-link crossings; the
+		// extra intra-cluster hop is cheap by construction.
+		return algoHier
+	case kindBcast:
+		if c.bcastSegment(nBytes) > 0 {
+			// Large: pipeline segments through the two-level tree so the
+			// slow backbone transfer overlaps the fast intra-cluster fan-out.
+			return algoHierSegmented
+		}
+		return algoHier
+	case kindGather:
+		// Leader staging doubles the memory traffic for the cluster's
+		// data; past a few MB the copy cost outweighs the saved
+		// slow-link message setups, so fall back to the flat tree.
+		if nBytes*c.Size() > 4<<20 {
+			return algoFlat
+		}
+		return algoHier
+	}
+	return algoFlat
+}
+
+// twoLevelTree builds the rank's position in the two-level spanning tree
+// rooted at root: a binomial tree over cluster leaders (with the root
+// acting as its own cluster's leader) feeding binomial trees inside each
+// cluster. A leader's children list the backbone (inter-cluster) children
+// first so slow-link transfers start as early as possible. parent is -1
+// at the root.
+func (ct *commTopo) twoLevelTree(me, root int) (parent int, children []int) {
+	// Operation leaders: the root stands in for its own cluster's leader.
+	rootCluster := ct.clusterOf[root]
+	opLeader := make([]int, ct.nClusters)
+	copy(opLeader, ct.leaders)
+	opLeader[rootCluster] = root
+
+	myCluster := ct.clusterOf[me]
+	parent = -1
+	if me == opLeader[myCluster] {
+		p, kids := binomialOver(opLeader, rootCluster, myCluster)
+		parent = p
+		children = append(children, kids...)
+	}
+
+	// Intra-cluster binomial tree rooted at the cluster's operation
+	// leader. A leader is its intra-tree's root (p = -1), so its backbone
+	// parent from the leader level is preserved.
+	members := ct.clusters[myCluster]
+	leaderPos, myPos := 0, 0
+	for i, r := range members {
+		if r == opLeader[myCluster] {
+			leaderPos = i
+		}
+		if r == me {
+			myPos = i
+		}
+	}
+	p, kids := binomialOver(members, leaderPos, myPos)
+	if p >= 0 {
+		parent = p
+	}
+	children = append(children, kids...)
+	return parent, children
+}

@@ -92,6 +92,31 @@ func (p *Params) PollSpecTuple() (cost, interval vtime.Duration) {
 	return p.PollCost, p.PollInterval
 }
 
+// LatencyBandwidth returns the link's headline cost pair — one-way
+// latency in microseconds and sustained bandwidth in paper MB/s — the
+// quantities the collective tuning table reasons about.
+func (p *Params) LatencyBandwidth() (latUS, bwMBs float64) {
+	return p.WireLatency.Micros(), p.Bandwidth / MB
+}
+
+// PipelineSegment recommends a segment size for store-and-forward
+// pipelining (segmented broadcast, gateway relaying) over this link:
+// large enough that the per-segment fixed costs (wire latency, injection
+// and extraction overheads, device handling) stay under ~10% of the
+// segment's serialization time, clamped to [4 KB, SwitchPoint] so
+// segments stay on the eager path.
+func (p *Params) PipelineSegment() int {
+	fixed := p.WireLatency + p.SendOverhead + p.RecvOverhead + p.DeviceHandling
+	seg := int(10 * fixed.Seconds() * p.Bandwidth)
+	if seg < 4<<10 {
+		seg = 4 << 10
+	}
+	if p.SwitchPoint > 0 && seg > p.SwitchPoint {
+		seg = p.SwitchPoint
+	}
+	return seg
+}
+
 // FastEthernetTCP returns the calibrated TCP / Fast-Ethernet model.
 // Targets (paper): raw Madeleine latency 121 us, bandwidth 11.2 MB/s;
 // ch_mad latency 148 us (4 B), 130 us (0 B); ch_p4 ceiling ~10 MB/s.
