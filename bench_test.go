@@ -237,7 +237,7 @@ func BenchmarkHierCollectives(b *testing.B) {
 		if p, ok := s.At(8); ok {
 			b.ReportMetric(p.LatencyUS(), "vus8B:"+sanitize(s.Name))
 		}
-		if p, ok := s.At(64<<10); ok {
+		if p, ok := s.At(64 << 10); ok {
 			b.ReportMetric(p.LatencyUS(), "vus64K:"+sanitize(s.Name))
 		}
 	}

@@ -61,6 +61,11 @@ type RecvReq struct {
 	Status            Status
 	Done              *vtime.Event
 	Err               error
+	// OnComplete, if set, runs just before Done fires — in device or
+	// scheduler context, so it must not block. The MPI layer's collective
+	// progress engine uses it to advance schedule rounds event-driven
+	// instead of polling each request.
+	OnComplete func()
 }
 
 // matches reports whether an incoming envelope satisfies this receive.
@@ -207,11 +212,15 @@ func (e *Engine) WaitUnexpected(src, tag, ctx int) Envelope {
 func (e *Engine) QueueLens() (int, int) { return len(e.posted), len(e.unexp) }
 
 // FinishRecv fills in status/error and fires completion; shared helper for
-// device delivery paths.
+// device delivery paths. Every device's receive path funnels through here,
+// making it the single completion hook point for engine progress.
 func FinishRecv(r *RecvReq, env Envelope, err error) {
 	r.Status = Status{Source: env.Src, Tag: env.Tag, Len: env.Len}
 	if err != nil {
 		r.Err = err
+	}
+	if r.OnComplete != nil {
+		r.OnComplete()
 	}
 	r.Done.Fire()
 }

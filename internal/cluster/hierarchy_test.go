@@ -198,6 +198,31 @@ func TestHierBarrierGatherAllgatherBackbone(t *testing.T) {
 	}
 }
 
+// TestHierAlltoallBackbone: the two-level Alltoall bundles all
+// cross-cluster blocks through the leaders, so a 2-cluster backbone
+// carries exactly one message per directed leader pair — O(clusters) —
+// while the flat pairwise rotation on interleaved placement crosses it
+// once per cross-cluster (src, dst) pair, O(n^2).
+func TestHierAlltoallBackbone(t *testing.T) {
+	alltoall := func(rank int, comm *mpi.Comm) error {
+		n := 8
+		send := make([]byte, 8*n)
+		for i := range send {
+			send[i] = byte(rank + i)
+		}
+		recv := make([]byte, 8*n)
+		return comm.Alltoall(send, recv, 1, mpi.Int64)
+	}
+	flat, hier := perOp(t, alltoall)
+	t.Logf("alltoall backbone packets: flat=%d hier=%d", flat, hier)
+	if hier != 2 {
+		t.Errorf("hierarchical Alltoall crossed the backbone %d times, want exactly 2 (one per directed leader pair)", hier)
+	}
+	if flat < 8 {
+		t.Errorf("flat Alltoall crossed the backbone only %d times; expected >= n = 8 on interleaved placement", flat)
+	}
+}
+
 // TestHierFasterOnBackbone: fewer slow-link crossings must translate into
 // less virtual time where the flat algorithm serializes them. The flat
 // ring Allgather on interleaved placement crosses the backbone on every

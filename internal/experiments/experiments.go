@@ -325,37 +325,54 @@ func Forwarding() (*Result, error) {
 // declarations interleaved so consecutive ranks alternate islands (the
 // adversarial placement for a flat binomial tree). Reported value is the
 // per-operation completion time at rank 0.
+//
+// The *_ovl series measure the schedule engine's overlap: each iteration
+// starts the nonblocking two-level operation, runs a chunked compute loop
+// sized to the blocking two-level time at that payload, then waits; the
+// reported value is the exposed (non-hidden) communication time, i.e.
+// per-iteration wall time minus the injected compute.
 func HierCollectives() (*Result, error) {
 	sizes := []int{8, 256, 4 << 10, 64 << 10, 256 << 10}
 	topo := hierTopo()
 	type bench struct {
 		name string
 		mode mpi.CollMode
-		op   func(comm *mpi.Comm, buf, big []byte, size int) error
+		op   func(comm *mpi.Comm, size int) error
+	}
+	bcast := func(comm *mpi.Comm, size int) error {
+		buf := make([]byte, size)
+		return comm.Bcast(buf, size, mpi.Byte, 0)
+	}
+	allreduce := func(comm *mpi.Comm, size int) error {
+		buf := make([]byte, size)
+		out := make([]byte, size)
+		return comm.Allreduce(buf, out, size, mpi.Byte, mpi.OpMax)
+	}
+	allgather := func(comm *mpi.Comm, size int) error {
+		buf := make([]byte, size)
+		big := make([]byte, size*comm.Size())
+		return comm.Allgather(buf, big, size, mpi.Byte)
+	}
+	alltoall := func(comm *mpi.Comm, size int) error {
+		send := make([]byte, size*comm.Size())
+		recv := make([]byte, size*comm.Size())
+		return comm.Alltoall(send, recv, size, mpi.Byte)
 	}
 	benches := []bench{
-		{"Bcast_flat", mpi.CollFlat, func(comm *mpi.Comm, buf, _ []byte, size int) error {
-			return comm.Bcast(buf[:size], size, mpi.Byte, 0)
-		}},
-		{"Bcast_2level", mpi.CollHier, func(comm *mpi.Comm, buf, _ []byte, size int) error {
-			return comm.Bcast(buf[:size], size, mpi.Byte, 0)
-		}},
-		{"Allreduce_flat", mpi.CollFlat, func(comm *mpi.Comm, buf, big []byte, size int) error {
-			return comm.Allreduce(buf[:size], big[:size], size, mpi.Byte, mpi.OpMax)
-		}},
-		{"Allreduce_2level", mpi.CollHier, func(comm *mpi.Comm, buf, big []byte, size int) error {
-			return comm.Allreduce(buf[:size], big[:size], size, mpi.Byte, mpi.OpMax)
-		}},
-		{"Allgather_flat", mpi.CollFlat, func(comm *mpi.Comm, buf, big []byte, size int) error {
-			return comm.Allgather(buf[:size], big[:size*comm.Size()], size, mpi.Byte)
-		}},
-		{"Allgather_2level", mpi.CollHier, func(comm *mpi.Comm, buf, big []byte, size int) error {
-			return comm.Allgather(buf[:size], big[:size*comm.Size()], size, mpi.Byte)
-		}},
+		{"Bcast_flat", mpi.CollFlat, bcast},
+		{"Bcast_2level", mpi.CollHier, bcast},
+		{"Allreduce_flat", mpi.CollFlat, allreduce},
+		{"Allreduce_2level", mpi.CollHier, allreduce},
+		{"Allgather_flat", mpi.CollFlat, allgather},
+		{"Allgather_2level", mpi.CollHier, allgather},
+		{"Alltoall_flat", mpi.CollFlat, alltoall},
+		{"Alltoall_2level", mpi.CollHier, alltoall},
 	}
+	perOpTime := make(map[string]map[int]vtime.Duration)
 	var series []*stats.Series
 	for _, bm := range benches {
 		s := &stats.Series{Name: bm.name}
+		perOpTime[bm.name] = make(map[int]vtime.Duration)
 		for _, size := range sizes {
 			sess, err := cluster.Build(topo)
 			if err != nil {
@@ -368,12 +385,10 @@ func HierCollectives() (*Result, error) {
 			op := bm.op
 			var perOp vtime.Duration
 			err = sess.Run(func(rank int, comm *mpi.Comm) error {
-				buf := make([]byte, size)
-				big := make([]byte, size*comm.Size())
 				const iters = 3
 				start := sess.S.Now()
 				for i := 0; i < iters; i++ {
-					if err := op(comm, buf, big, size); err != nil {
+					if err := op(comm, size); err != nil {
 						return err
 					}
 				}
@@ -385,12 +400,80 @@ func HierCollectives() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			perOpTime[bm.name][size] = perOp
 			s.Add(size, perOp)
 		}
 		series = append(series, s)
 	}
+
+	// Nonblocking overlap: exposed communication time of the two-level
+	// Allreduce and Alltoall when computation fills the collective's
+	// blocking duration.
+	type ovlBench struct {
+		name string
+		base string
+		op   func(comm *mpi.Comm, size int) (*mpi.CollRequest, error)
+	}
+	ovls := []ovlBench{
+		{"Allreduce_2level_ovl", "Allreduce_2level", func(comm *mpi.Comm, size int) (*mpi.CollRequest, error) {
+			buf := make([]byte, size)
+			out := make([]byte, size)
+			return comm.Iallreduce(buf, out, size, mpi.Byte, mpi.OpMax)
+		}},
+		{"Alltoall_2level_ovl", "Alltoall_2level", func(comm *mpi.Comm, size int) (*mpi.CollRequest, error) {
+			send := make([]byte, size*comm.Size())
+			recv := make([]byte, size*comm.Size())
+			return comm.Ialltoall(send, recv, size, mpi.Byte)
+		}},
+	}
+	for _, ob := range ovls {
+		s := &stats.Series{Name: ob.name}
+		for _, size := range sizes {
+			sess, err := cluster.Build(topo)
+			if err != nil {
+				return nil, err
+			}
+			for _, rk := range sess.Ranks {
+				rk.MPI.SetCollMode(mpi.CollHier)
+			}
+			size := size
+			start := ob.op
+			compute := perOpTime[ob.base][size]
+			var exposed vtime.Duration
+			err = sess.Run(func(rank int, comm *mpi.Comm) error {
+				const iters = 3
+				const chunks = 64
+				t0 := sess.S.Now()
+				for i := 0; i < iters; i++ {
+					req, err := start(comm, size)
+					if err != nil {
+						return err
+					}
+					for k := 0; k < chunks; k++ {
+						sess.Ranks[rank].Proc.Compute(compute / chunks)
+					}
+					if err := req.Wait(); err != nil {
+						return err
+					}
+				}
+				if rank == 0 {
+					per := sess.S.Now().Sub(t0) / iters
+					exposed = per - compute
+					if exposed < 0 {
+						exposed = 0
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(size, exposed)
+		}
+		series = append(series, s)
+	}
 	return render("hcoll",
-		"Extension X4: flat vs two-level collectives on a 2x4-rank cluster-of-clusters",
+		"Extension X4: flat vs two-level vs nonblocking-overlap collectives on a 2x4-rank cluster-of-clusters",
 		'a', series), nil
 }
 

@@ -2,101 +2,124 @@ package mpi
 
 import "fmt"
 
-// Internal collective tags; collectives run on the communicator's paired
-// context (ctx+1), so they never collide with user point-to-point traffic.
+// Static collective tags for the operations that still run as direct call
+// trees (variable-count gather/scatter, scan). Everything else compiles
+// into a schedule (schedule.go) whose messages carry a unique per-operation
+// tag at tagNBCBase and above; collectives run on the communicator's
+// paired context (ctx+1), so neither can collide with user point-to-point
+// traffic.
 const (
-	tagBarrier = iota
-	tagBcast
-	tagReduce
-	tagGather
+	tagGather = iota
 	tagScatter
-	tagAllgather
-	tagAlltoall
 	tagScan
-	// Hierarchical (two-level) collective phases use their own tags so a
-	// leader's backbone exchange can never be matched by an intra-cluster
-	// receive of the same operation (see hcoll.go).
-	tagHBarrier
-	tagHBcast
-	tagHReduce
-	tagHGather  // member -> cluster leader
-	tagHGatherB // cluster leader -> root (staged bundle)
-	tagHAllgather
 )
 
 func (c *Comm) collCtx() int { return c.ctx + 1 }
 
+// Every blocking collective below is its nonblocking twin compiled and
+// immediately waited on: the schedule compilers in this file (flat) and
+// hcoll.go (two-level) hold the only algorithm bodies, so a new algorithm
+// is a new compiler and nothing else.
+
 // Barrier blocks until all members have entered it (MPI_Barrier).
-// Dispatches to the two-level fan-in/fan-out tree on multi-cluster
-// topologies, otherwise to the flat dissemination algorithm.
 func (c *Comm) Barrier() error {
-	if err := c.checkLive("Barrier"); err != nil {
+	req, err := c.Ibarrier()
+	if err != nil {
 		return err
 	}
-	if c.chooseAlgo(kindBarrier, 0) != algoFlat {
-		return c.barrierHier()
-	}
-	return c.barrierFlat()
-}
-
-// barrierFlat is the dissemination algorithm: ceil(log2 n) rounds of
-// 0-byte exchanges.
-func (c *Comm) barrierFlat() error {
-	n := c.Size()
-	for k := 1; k < n; k <<= 1 {
-		to := (c.myRank + k) % n
-		from := (c.myRank - k + n) % n
-		if err := c.sendRaw(nil, to, tagBarrier, c.collCtx()); err != nil {
-			return err
-		}
-		if _, err := c.recvRaw(nil, from, tagBarrier, c.collCtx()); err != nil {
-			return err
-		}
-	}
-	return nil
+	return req.Wait()
 }
 
 // Bcast broadcasts count elements of dt from root to every member
-// (MPI_Bcast). Dispatches through the tuning table: two-level tree on
-// multi-cluster topologies (pipelined in segments for large payloads),
-// flat binomial tree otherwise.
+// (MPI_Bcast). The tuning table picks the two-level tree (pipelined in
+// segments for large payloads) on multi-cluster topologies, the flat
+// binomial tree otherwise.
 func (c *Comm) Bcast(buf []byte, count int, dt Datatype, root int) error {
-	if err := c.checkLive("Bcast"); err != nil {
+	req, err := c.Ibcast(buf, count, dt, root)
+	if err != nil {
 		return err
 	}
-	if err := c.checkPeer("Bcast", root); err != nil {
-		return err
-	}
-	if c.Size() == 1 {
-		return nil
-	}
-	switch c.chooseAlgo(kindBcast, count*dt.Size()) {
-	case algoHier:
-		return c.bcastHier(buf, count, dt, root, 0)
-	case algoHierSegmented:
-		return c.bcastHier(buf, count, dt, root, c.segmentBytes())
-	}
-	return c.bcastFlat(buf, count, dt, root)
+	return req.Wait()
 }
 
-// bcastFlat is the topology-blind binomial tree: latency O(log n).
-func (c *Comm) bcastFlat(buf []byte, count int, dt Datatype, root int) error {
+// Reduce combines count elements from every member's sendBuf with op,
+// leaving the result in root's recvBuf (MPI_Reduce).
+func (c *Comm) Reduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) error {
+	req, err := c.Ireduce(sendBuf, recvBuf, count, dt, op, root)
+	if err != nil {
+		return err
+	}
+	return req.Wait()
+}
+
+// Allreduce is Reduce to rank 0 chained with Bcast (MPI_Allreduce),
+// compiled as one schedule.
+func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) error {
+	req, err := c.Iallreduce(sendBuf, recvBuf, count, dt, op)
+	if err != nil {
+		return err
+	}
+	return req.Wait()
+}
+
+// Gather collects count elements from every member into root's recvBuf,
+// ordered by rank (MPI_Gather). recvBuf needs size*count elements at root.
+func (c *Comm) Gather(sendBuf []byte, recvBuf []byte, count int, dt Datatype, root int) error {
+	req, err := c.Igather(sendBuf, recvBuf, count, dt, root)
+	if err != nil {
+		return err
+	}
+	return req.Wait()
+}
+
+// Allgather gathers count elements from each member into every member's
+// recvBuf in rank order (MPI_Allgather).
+func (c *Comm) Allgather(sendBuf []byte, recvBuf []byte, count int, dt Datatype) error {
+	req, err := c.Iallgather(sendBuf, recvBuf, count, dt)
+	if err != nil {
+		return err
+	}
+	return req.Wait()
+}
+
+// Alltoall sends a distinct count-element block to every member and
+// receives one from each (MPI_Alltoall). Flat pairwise rotation, or the
+// two-level leader-bundled exchange on multi-cluster topologies.
+func (c *Comm) Alltoall(sendBuf []byte, recvBuf []byte, count int, dt Datatype) error {
+	req, err := c.Ialltoall(sendBuf, recvBuf, count, dt)
+	if err != nil {
+		return err
+	}
+	return req.Wait()
+}
+
+// ---- Flat (topology-blind) schedule compilers ----
+
+// compileBarrierFlat is the dissemination algorithm: ceil(log2 n) rounds
+// of 0-byte exchanges.
+func (c *Comm) compileBarrierFlat() *schedule {
+	n := c.Size()
+	b := newSched("barrier")
+	for k := 1; k < n; k <<= 1 {
+		b.recv((c.myRank-k+n)%n, nil)
+		b.send((c.myRank+k)%n, nil)
+		b.endRound()
+	}
+	return b.build(nil)
+}
+
+// bcastFlatRounds appends the binomial-tree broadcast of data (already
+// populated at the root by earlier rounds or at compile time) rooted at
+// root: one receive round from the parent, then the fan-out sends in
+// largest-stride-first order.
+func (c *Comm) bcastFlatRounds(b *schedBuilder, data []byte, root int) {
 	n := c.Size()
 	rel := (c.myRank - root + n) % n
-	var data []byte
-	if rel == 0 {
-		data = PackBuf(buf, count, dt)
-	} else {
-		data = make([]byte, count*dt.Size())
-	}
-
 	mask := 1
 	for mask < n {
 		if rel&mask != 0 {
-			src := (rel - mask + root) % n
-			if _, err := c.recvRaw(data, src, tagBcast, c.collCtx()); err != nil {
-				return err
-			}
+			b.recv((rel-mask+root)%n, data)
+			b.endRound()
 			break
 		}
 		mask <<= 1
@@ -104,110 +127,180 @@ func (c *Comm) bcastFlat(buf []byte, count int, dt Datatype, root int) error {
 	mask >>= 1
 	for mask > 0 {
 		if rel+mask < n {
-			dst := (rel + mask + root) % n
-			if err := c.sendRaw(data, dst, tagBcast, c.collCtx()); err != nil {
-				return err
-			}
+			b.send((rel+mask+root)%n, data)
 		}
 		mask >>= 1
 	}
-	if rel != 0 {
-		c.p.M.Compute(c.p.memTime(len(data)))
-		UnpackBuf(buf, count, dt, data)
-	}
-	return nil
+	b.endRound()
 }
 
-// Reduce combines count elements from every member's sendBuf with op,
-// leaving the result in root's recvBuf (MPI_Reduce). Dispatches to the
-// two-level tree on multi-cluster topologies, flat binomial otherwise.
-func (c *Comm) Reduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) error {
-	if err := c.checkLive("Reduce"); err != nil {
-		return err
+// compileBcastFlat: the topology-blind binomial tree, latency O(log n).
+func (c *Comm) compileBcastFlat(buf []byte, count int, dt Datatype, root int) *schedule {
+	var data []byte
+	if c.myRank == root {
+		data = PackBuf(buf, count, dt)
+	} else {
+		data = make([]byte, count*dt.Size())
 	}
-	if err := c.checkPeer("Reduce", root); err != nil {
-		return err
-	}
-	if c.chooseAlgo(kindReduce, count*dt.Size()) != algoFlat {
-		return c.reduceHier(sendBuf, recvBuf, count, dt, op, root)
-	}
-	return c.reduceFlat(sendBuf, recvBuf, count, dt, op, root)
+	b := newSched("bcast")
+	c.bcastFlatRounds(b, data, root)
+	return b.build(func() {
+		if c.myRank != root {
+			c.p.M.Compute(c.p.memTime(len(data)))
+			UnpackBuf(buf, count, dt, data)
+		}
+	})
 }
 
-// reduceFlat is the topology-blind binomial reduction tree.
-func (c *Comm) reduceFlat(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) error {
+// reduceFlatRounds appends the binomial reduction tree rooted at root and
+// returns the accumulator buffer, which holds the full reduction at the
+// root once the rounds have run.
+func (c *Comm) reduceFlatRounds(b *schedBuilder, sendBuf []byte, count int, dt Datatype, op Op, root int) []byte {
 	n := c.Size()
 	acc := make([]byte, count*dt.Size())
-	copy(acc, PackBuf(sendBuf, count, dt))
-	c.p.M.Compute(c.p.memTime(len(acc)))
-
+	b.copyStep(acc, PackBuf(sendBuf, count, dt))
+	b.endRound()
 	rel := (c.myRank - root + n) % n
 	mask := 1
 	for mask < n {
 		if rel&mask != 0 {
-			dst := (rel - mask + root) % n
-			if err := c.sendRaw(acc, dst, tagReduce, c.collCtx()); err != nil {
-				return err
-			}
+			b.send((rel-mask+root)%n, acc)
+			b.endRound()
 			break
 		}
 		if rel+mask < n {
-			src := (rel + mask + root) % n
 			part := make([]byte, len(acc))
-			if _, err := c.recvRaw(part, src, tagReduce, c.collCtx()); err != nil {
-				return err
-			}
-			if err := op.Apply(acc, part, count, dt); err != nil {
-				return err
-			}
+			b.recv((rel+mask+root)%n, part)
+			b.reduce(acc, part, count, dt, op)
+			b.endRound()
 		}
 		mask <<= 1
 	}
-	if c.myRank == root {
+	return acc
+}
+
+// compileReduceFlat: the topology-blind binomial reduction tree.
+func (c *Comm) compileReduceFlat(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) *schedule {
+	b := newSched("reduce")
+	acc := c.reduceFlatRounds(b, sendBuf, count, dt, op, root)
+	return b.build(func() {
+		if c.myRank == root {
+			c.p.M.Compute(c.p.memTime(len(acc)))
+			UnpackBuf(recvBuf, count, dt, acc)
+		}
+	})
+}
+
+// compileAllreduceFlat chains the flat reduce-to-0 rounds with the flat
+// broadcast-from-0 rounds over one shared accumulator.
+func (c *Comm) compileAllreduceFlat(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) *schedule {
+	b := newSched("allreduce")
+	acc := c.reduceFlatRounds(b, sendBuf, count, dt, op, 0)
+	c.bcastFlatRounds(b, acc, 0)
+	return b.build(func() {
 		c.p.M.Compute(c.p.memTime(len(acc)))
 		UnpackBuf(recvBuf, count, dt, acc)
-	}
-	return nil
+	})
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast (MPI_Allreduce). On
-// multi-cluster topologies both halves run two-level, so the backbone
-// carries one reduced vector per cluster in each direction.
-func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) error {
-	if err := c.checkLive("Allreduce"); err != nil {
-		return err
+// compileGatherFlat: every member ships its block straight to the root.
+func (c *Comm) compileGatherFlat(sendBuf, recvBuf []byte, count int, dt Datatype, root int) *schedule {
+	sz := count * dt.Size()
+	ex := dt.Extent()
+	mine := PackBuf(sendBuf, count, dt)
+	b := newSched("gather")
+	if c.myRank != root {
+		b.send(root, mine)
+		return b.build(nil)
 	}
-	if c.chooseAlgo(kindAllreduce, count*dt.Size()) != algoFlat {
-		return c.allreduceHier(sendBuf, recvBuf, count, dt, op)
+	slots := make([][]byte, c.Size())
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		slots[r] = make([]byte, sz)
+		b.recv(r, slots[r])
 	}
-	if err := c.reduceFlat(sendBuf, recvBuf, count, dt, op, 0); err != nil {
-		return err
-	}
-	return c.bcastFlat(recvBuf, count, dt, 0)
+	b.endRound()
+	return b.build(func() {
+		c.p.M.Compute(c.p.memTime(sz))
+		UnpackBuf(recvBuf[root*count*ex:], count, dt, mine)
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			UnpackBuf(recvBuf[r*count*ex:], count, dt, slots[r])
+		}
+	})
 }
 
-// Gather collects count elements from every member into root's recvBuf,
-// ordered by rank (MPI_Gather). recvBuf needs size*count elements at root.
-// On multi-cluster topologies small gathers stage through cluster leaders
-// so the backbone carries one bundle per cluster instead of one message
-// per rank; large gathers fall back to the flat path (the staging copy
-// outweighs the saved message setups).
-func (c *Comm) Gather(sendBuf []byte, recvBuf []byte, count int, dt Datatype, root int) error {
-	if err := c.checkLive("Gather"); err != nil {
-		return err
+// compileAllgatherFlat is the ring algorithm: n-1 rounds, each forwarding
+// the block received in the previous round.
+func (c *Comm) compileAllgatherFlat(sendBuf, recvBuf []byte, count int, dt Datatype) *schedule {
+	n := c.Size()
+	sz := count * dt.Size()
+	ex := dt.Extent()
+	mine := PackBuf(sendBuf, count, dt)
+	own := make([]byte, sz)
+	right := (c.myRank + 1) % n
+	left := (c.myRank - 1 + n) % n
+
+	b := newSched("allgather")
+	b.copyStep(own, mine)
+	b.endRound()
+	incoming := make([][]byte, n-1)
+	cur := own
+	for s := 0; s < n-1; s++ {
+		incoming[s] = make([]byte, sz)
+		b.recv(left, incoming[s])
+		b.send(right, cur)
+		b.endRound()
+		cur = incoming[s]
 	}
-	if err := c.checkPeer("Gather", root); err != nil {
-		return err
-	}
-	if c.chooseAlgo(kindGather, count*dt.Size()) != algoFlat {
-		return c.gatherHier(sendBuf, recvBuf, count, dt, root)
-	}
-	counts := make([]int, c.Size())
-	for i := range counts {
-		counts[i] = count
-	}
-	return c.Gatherv(sendBuf, count, recvBuf, counts, nil, dt, root)
+	return b.build(func() {
+		UnpackBuf(recvBuf[c.myRank*count*ex:], count, dt, own)
+		for s := 0; s < n-1; s++ {
+			owner := (c.myRank - s - 1 + 2*n) % n
+			UnpackBuf(recvBuf[owner*count*ex:], count, dt, incoming[s])
+		}
+	})
 }
+
+// compileAlltoallFlat is the pairwise rotation: n rounds, exchanging with
+// partners at increasing rank distance.
+func (c *Comm) compileAlltoallFlat(sendBuf, recvBuf []byte, count int, dt Datatype) *schedule {
+	n := c.Size()
+	sz := count * dt.Size()
+	ex := dt.Extent()
+	b := newSched("alltoall")
+	selfStage := make([]byte, sz)
+	in := make([][]byte, n)
+	for step := 0; step < n; step++ {
+		to := (c.myRank + step) % n
+		from := (c.myRank - step + n) % n
+		out := PackBuf(sendBuf[to*count*ex:], count, dt)
+		if to == c.myRank {
+			b.copyStep(selfStage, out)
+			b.endRound()
+			continue
+		}
+		in[from] = make([]byte, sz)
+		b.recv(from, in[from])
+		b.send(to, out)
+		b.endRound()
+	}
+	return b.build(func() {
+		UnpackBuf(recvBuf[c.myRank*count*ex:], count, dt, selfStage)
+		for from := 0; from < n; from++ {
+			if from == c.myRank {
+				continue
+			}
+			UnpackBuf(recvBuf[from*count*ex:], count, dt, in[from])
+		}
+	})
+}
+
+// ---- Remaining direct (non-scheduled) collectives ----
 
 // Gatherv is the variable-count gather (MPI_Gatherv). displs are element
 // offsets into recvBuf per rank; nil means dense packing in rank order.
@@ -300,97 +393,6 @@ func (c *Comm) Scatterv(sendBuf []byte, counts, displs []int, recvBuf []byte, re
 		if err := c.sendRaw(chunk, r, tagScatter, c.collCtx()); err != nil {
 			return err
 		}
-	}
-	return nil
-}
-
-// Allgather gathers count elements from each member into every member's
-// recvBuf in rank order (MPI_Allgather). Dispatches to leader staging on
-// multi-cluster topologies; otherwise the flat ring algorithm, whose n-1
-// steps each cross the backbone once per inter-cluster ring edge.
-func (c *Comm) Allgather(sendBuf []byte, recvBuf []byte, count int, dt Datatype) error {
-	if err := c.checkLive("Allgather"); err != nil {
-		return err
-	}
-	if c.chooseAlgo(kindAllgather, count*dt.Size()) != algoFlat {
-		return c.allgatherHier(sendBuf, recvBuf, count, dt)
-	}
-	return c.allgatherFlat(sendBuf, recvBuf, count, dt)
-}
-
-// allgatherFlat is the ring algorithm: n-1 steps, each forwarding the
-// block received in the previous step.
-func (c *Comm) allgatherFlat(sendBuf []byte, recvBuf []byte, count int, dt Datatype) error {
-	n := c.Size()
-	sz := count * dt.Size()
-	ex := dt.Extent()
-
-	// Place my own block.
-	mine := PackBuf(sendBuf, count, dt)
-	c.p.M.Compute(c.p.memTime(sz))
-	UnpackBuf(recvBuf[c.myRank*count*ex:], count, dt, mine)
-	if n == 1 {
-		return nil
-	}
-
-	right := (c.myRank + 1) % n
-	left := (c.myRank - 1 + n) % n
-	cur := make([]byte, sz)
-	copy(cur, mine)
-	for step := 0; step < n-1; step++ {
-		incoming := make([]byte, sz)
-		rreq, err := c.irecvRaw(incoming, left, tagAllgather)
-		if err != nil {
-			return err
-		}
-		if err := c.sendRaw(cur, right, tagAllgather, c.collCtx()); err != nil {
-			return err
-		}
-		if _, err := rreq.Wait(); err != nil {
-			return err
-		}
-		owner := (c.myRank - step - 1 + 2*n) % n
-		UnpackBuf(recvBuf[owner*count*ex:], count, dt, incoming)
-		cur = incoming
-	}
-	return nil
-}
-
-// irecvRaw posts a non-blocking raw receive on the collective context.
-func (c *Comm) irecvRaw(buf []byte, src, tag int) (*Request, error) {
-	return c.irecvOn(buf, c.group[src], tag, c.collCtx())
-}
-
-// Alltoall sends a distinct count-element block to every member and
-// receives one from each (MPI_Alltoall). Pairwise rotation: n steps.
-func (c *Comm) Alltoall(sendBuf []byte, recvBuf []byte, count int, dt Datatype) error {
-	if err := c.checkLive("Alltoall"); err != nil {
-		return err
-	}
-	n := c.Size()
-	sz := count * dt.Size()
-	ex := dt.Extent()
-	for step := 0; step < n; step++ {
-		to := (c.myRank + step) % n
-		from := (c.myRank - step + n) % n
-		out := PackBuf(sendBuf[to*count*ex:], count, dt)
-		if to == c.myRank {
-			c.p.M.Compute(c.p.memTime(sz))
-			UnpackBuf(recvBuf[c.myRank*count*ex:], count, dt, out)
-			continue
-		}
-		in := make([]byte, sz)
-		rreq, err := c.irecvOn(in, c.group[from], tagAlltoall, c.collCtx())
-		if err != nil {
-			return err
-		}
-		if err := c.sendRaw(out, to, tagAlltoall, c.collCtx()); err != nil {
-			return err
-		}
-		if _, err := rreq.Wait(); err != nil {
-			return err
-		}
-		UnpackBuf(recvBuf[from*count*ex:], count, dt, in)
 	}
 	return nil
 }

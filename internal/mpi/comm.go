@@ -110,6 +110,10 @@ type Comm struct {
 	// ct caches the communicator's dense hierarchy view (topology.go),
 	// computed on first collective dispatch.
 	ct *commTopo
+
+	// eng is the communicator's collective progress engine (nbc.go),
+	// created on the first scheduled collective.
+	eng *collEngine
 }
 
 // Rank returns the calling process's rank within the communicator.

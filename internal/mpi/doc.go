@@ -1,0 +1,56 @@
+// Package mpi is the application-facing MPI layer of the reproduction:
+// communicators, point-to-point messaging, datatypes, reduction ops and
+// the collective operations, built on the adi matching engine and the
+// simulated devices below.
+//
+// # The collective schedule model
+//
+// Since PR 2 every collective — blocking or nonblocking, flat or
+// hierarchical — is *schedule-driven*. Calling a collective compiles the
+// selected algorithm into a schedule (schedule.go): a list of rounds
+// whose steps are plain data — send, recv, local reduce, local copy —
+// with inter-round data flow expressed through shared staging buffers.
+// The communicator's progress engine (nbc.go) executes submitted
+// schedules in order on a dedicated cooperative thread, so transfers
+// advance whenever the application thread blocks, computes or yields:
+// the paper's decoupling of communication progress from the application,
+// applied to collectives (the libNBC/MPI-3 design).
+//
+// Algorithm selection happens once, at compile time, through the tuning
+// table in topology.go (operation kind × payload size × cluster shape →
+// flat, two-level, or two-level segmented). The flat compilers live in
+// collectives.go, the two-level ones in hcoll.go; each algorithm has
+// exactly one body, shared by the blocking and nonblocking entry points.
+// Adding an algorithm (ring allreduce, autotuned variants, ...) means
+// adding a compiler and a tuning-table row — the executor, request
+// handling and progress rules are untouched.
+//
+// # The Icoll API
+//
+// The nonblocking collectives mirror MPI-3:
+//
+//	req, err := comm.Iallreduce(send, recv, count, dt, op)
+//	... overlapped computation ...
+//	err = req.Wait()        // or: done, err := req.Test()
+//
+// Ibarrier, Ibcast, Ireduce, Iallreduce, Igather, Iallgather and
+// Ialltoall return a *CollRequest. Output buffers are defined only after
+// Wait/Test reports completion; input buffers must stay untouched until
+// then. All members must issue collectives on a communicator in the same
+// order (the MPI rule); the engine relies on it to number schedules
+// identically across ranks.
+//
+// Blocking Barrier/Bcast/Reduce/Allreduce/Gather/Allgather/Alltoall are
+// compile-then-Wait wrappers around their I-twins. Gatherv, Scatterv,
+// Scan and the point-to-point API are unchanged.
+//
+// # Migration notes
+//
+// Callers of the former internal algorithm helpers (barrierFlat,
+// bcastHier, reduceFlat, allgatherHier, ...) now use the public API plus
+// Process.SetCollMode(CollFlat/CollHier) to pin an algorithm family; the
+// helpers were replaced by compile* schedule compilers with identical
+// message patterns. WaitAll now returns one *Status per request (nil for
+// sends) alongside the first error; WaitAny waits event-driven on the
+// virtual-time scheduler instead of polling.
+package mpi

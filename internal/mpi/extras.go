@@ -47,22 +47,46 @@ func (c *Comm) Ssend(buf []byte, count int, dt Datatype, dest, tag int) error {
 
 // WaitAny blocks until at least one request completes and returns its
 // index (MPI_Waitany). Completed requests are finalized lazily via Wait.
+// The wait is event-driven: the task subscribes to every request's
+// completion event and sleeps until the first one fires, consuming no
+// simulated CPU (the old implementation polled every microsecond).
 func WaitAny(reqs ...*Request) (int, *Status, error) {
 	if len(reqs) == 0 {
 		return -1, nil, fmt.Errorf("mpi: WaitAny with no requests")
 	}
 	p := reqs[0].c.p
-	for {
+	scan := func() (int, *Status, error, bool) {
 		for i, r := range reqs {
 			done, st, err := r.Test()
 			if done {
-				return i, st, err
+				return i, st, err, true
 			}
 		}
-		// No completion yet: let virtual time advance. The 1 us poll
-		// period mirrors MPICH's aggressive request polling.
-		p.M.Sleep(vtime.Microsecond)
+		return -1, nil, nil, false
 	}
+	if i, st, err, done := scan(); done {
+		return i, st, err
+	}
+	// Subscribe exactly once per request — and unsubscribe on return, so
+	// a drain loop over n requests stays linear instead of piling dead
+	// closures onto the still-pending ones. A wakeup implies some
+	// request's completion event fired, so the rescan always finds one.
+	any := vtime.NewEvent(p.M.S, "mpi.waitany")
+	cancels := make([]func(), 0, len(reqs))
+	for _, r := range reqs {
+		cancels = append(cancels, r.doneEvent().OnFire(any.Fire))
+	}
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+	any.Wait()
+	i, st, err, done := scan()
+	if !done {
+		return -1, nil, fmt.Errorf("mpi: WaitAny woke with no completed request")
+	}
+	return i, st, err
 }
 
 // Allgatherv gathers variable-sized contributions from every rank into

@@ -1,10 +1,11 @@
 package mpi
 
-// Two-level (hierarchy-aware) collective algorithms. Each operation runs
-// an intra-cluster binomial phase on the fast fabric plus a single
+// Two-level (hierarchy-aware) schedule compilers. Each operation runs an
+// intra-cluster binomial phase on the fast fabric plus a single
 // leader-level exchange over the slow backbone, so the number of
 // inter-cluster messages is O(#clusters) instead of O(log n) (or O(n) for
-// adversarial rank placements). See topology.go for the selection logic.
+// adversarial rank placements). See topology.go for the selection logic
+// and schedule.go for the execution model these compile into.
 
 // binomialOver computes a binomial tree over an explicit rank list rooted
 // at position rootPos, returning myPos's parent (-1 at the root) and
@@ -31,48 +32,37 @@ func binomialOver(members []int, rootPos, myPos int) (parent int, children []int
 	return parent, children
 }
 
-// barrierHier: fan-in then fan-out over the two-level tree rooted at
-// comm rank 0. The slow backbone carries exactly 2·(#clusters−1) empty
+// compileBarrierHier: fan-in then fan-out over the two-level tree rooted
+// at comm rank 0. The slow backbone carries exactly 2·(#clusters−1) empty
 // messages, versus the dissemination algorithm's n·ceil(log2 n).
-func (c *Comm) barrierHier() error {
+func (c *Comm) compileBarrierHier() *schedule {
 	parent, children := c.topo().twoLevelTree(c.myRank, 0)
-	// Fan-in: intra-cluster children first (they are cheap), backbone last.
+	b := newSched("barrier.h")
 	for i := len(children) - 1; i >= 0; i-- {
-		if _, err := c.recvRaw(nil, children[i], tagHBarrier, c.collCtx()); err != nil {
-			return err
-		}
+		b.recv(children[i], nil)
 	}
+	b.endRound()
 	if parent >= 0 {
-		if err := c.sendRaw(nil, parent, tagHBarrier, c.collCtx()); err != nil {
-			return err
-		}
-		if _, err := c.recvRaw(nil, parent, tagHBarrier, c.collCtx()); err != nil {
-			return err
-		}
+		b.send(parent, nil)
+		b.endRound()
+		b.recv(parent, nil)
+		b.endRound()
 	}
 	for _, ch := range children {
-		if err := c.sendRaw(nil, ch, tagHBarrier, c.collCtx()); err != nil {
-			return err
-		}
+		b.send(ch, nil)
 	}
-	return nil
+	return b.build(nil)
 }
 
-// bcastHier broadcasts through the two-level tree, optionally pipelining
-// the payload in segBytes segments (segBytes <= 0 disables segmentation).
-// Segments ride the eager path, so a rank can forward segment k to its
-// children while its parent is already injecting segment k+1: the slow
-// backbone transfer overlaps the fast intra-cluster fan-out, which is the
-// point of the paper's store-and-forward §6 scenario.
-func (c *Comm) bcastHier(buf []byte, count int, dt Datatype, root, segBytes int) error {
+// bcastHierRounds appends the two-level tree broadcast of data rooted at
+// root, optionally pipelining in segBytes segments (segBytes <= 0
+// disables segmentation). Segments ride the eager path, so a rank can
+// forward segment k to its children while its parent is already injecting
+// segment k+1: the slow backbone transfer overlaps the fast intra-cluster
+// fan-out, the paper's store-and-forward §6 scenario.
+func (c *Comm) bcastHierRounds(b *schedBuilder, data []byte, root, segBytes int) {
 	parent, children := c.topo().twoLevelTree(c.myRank, root)
-	total := count * dt.Size()
-	var data []byte
-	if c.myRank == root {
-		data = PackBuf(buf, count, dt)
-	} else {
-		data = make([]byte, total)
-	}
+	total := len(data)
 	seg := segBytes
 	if seg <= 0 || seg > total {
 		seg = total
@@ -89,64 +79,88 @@ func (c *Comm) bcastHier(buf []byte, count int, dt Datatype, root, segBytes int)
 		}
 		chunk := data[lo:hi]
 		if parent >= 0 {
-			if _, err := c.recvRaw(chunk, parent, tagHBcast, c.collCtx()); err != nil {
-				return err
-			}
+			b.recv(parent, chunk)
+			b.endRound()
 		}
 		for _, ch := range children {
-			if err := c.sendRaw(chunk, ch, tagHBcast, c.collCtx()); err != nil {
-				return err
-			}
+			b.send(ch, chunk)
 		}
+		b.endRound()
 	}
-	if c.myRank != root {
-		c.p.M.Compute(c.p.memTime(total))
-		UnpackBuf(buf, count, dt, data)
-	}
-	return nil
 }
 
-// reduceHier reduces along the reversed two-level tree: every rank folds
-// its children's partials into its accumulator (intra-cluster children
-// first, so the single backbone message carries a fully reduced cluster
-// contribution) and forwards one message to its parent.
-func (c *Comm) reduceHier(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) error {
+// compileBcastHier broadcasts through the two-level tree.
+func (c *Comm) compileBcastHier(buf []byte, count int, dt Datatype, root, segBytes int) *schedule {
+	var data []byte
+	if c.myRank == root {
+		data = PackBuf(buf, count, dt)
+	} else {
+		data = make([]byte, count*dt.Size())
+	}
+	b := newSched("bcast.h")
+	c.bcastHierRounds(b, data, root, segBytes)
+	return b.build(func() {
+		if c.myRank != root {
+			c.p.M.Compute(c.p.memTime(len(data)))
+			UnpackBuf(buf, count, dt, data)
+		}
+	})
+}
+
+// reduceHierRounds appends the reduction along the reversed two-level
+// tree: every rank folds its children's partials into its accumulator
+// (intra-cluster children first, so the single backbone message carries a
+// fully reduced cluster contribution) and forwards one message to its
+// parent. Returns the accumulator, complete at the root.
+func (c *Comm) reduceHierRounds(b *schedBuilder, sendBuf []byte, count int, dt Datatype, op Op, root int) []byte {
 	parent, children := c.topo().twoLevelTree(c.myRank, root)
 	acc := make([]byte, count*dt.Size())
-	copy(acc, PackBuf(sendBuf, count, dt))
-	c.p.M.Compute(c.p.memTime(len(acc)))
+	b.copyStep(acc, PackBuf(sendBuf, count, dt))
+	b.endRound()
 	for i := len(children) - 1; i >= 0; i-- {
 		part := make([]byte, len(acc))
-		if _, err := c.recvRaw(part, children[i], tagHReduce, c.collCtx()); err != nil {
-			return err
-		}
-		if err := op.Apply(acc, part, count, dt); err != nil {
-			return err
-		}
+		b.recv(children[i], part)
+		b.reduce(acc, part, count, dt, op)
 	}
+	b.endRound()
 	if parent >= 0 {
-		return c.sendRaw(acc, parent, tagHReduce, c.collCtx())
+		b.send(parent, acc)
+		b.endRound()
 	}
-	c.p.M.Compute(c.p.memTime(len(acc)))
-	UnpackBuf(recvBuf, count, dt, acc)
-	return nil
+	return acc
 }
 
-// allreduceHier is reduce-to-0 plus broadcast-from-0, both two-level: the
-// backbone carries one reduced vector per cluster inbound and one result
-// vector per cluster outbound — once per slow link per direction.
-func (c *Comm) allreduceHier(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) error {
-	if err := c.reduceHier(sendBuf, recvBuf, count, dt, op, 0); err != nil {
-		return err
-	}
-	return c.bcastHier(recvBuf, count, dt, 0, c.bcastSegment(count*dt.Size()))
+// compileReduceHier: two-level reduction to root.
+func (c *Comm) compileReduceHier(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) *schedule {
+	b := newSched("reduce.h")
+	acc := c.reduceHierRounds(b, sendBuf, count, dt, op, root)
+	return b.build(func() {
+		if c.myRank == root {
+			c.p.M.Compute(c.p.memTime(len(acc)))
+			UnpackBuf(recvBuf, count, dt, acc)
+		}
+	})
 }
 
-// gatherHier gathers via cluster-leader staging: members send their block
-// to their cluster's operation leader (the root stands in for its own
-// cluster), each leader concatenates its cluster's blocks in rank order
-// and ships one bundle to the root over the backbone.
-func (c *Comm) gatherHier(sendBuf, recvBuf []byte, count int, dt Datatype, root int) error {
+// compileAllreduceHier chains reduce-to-0 with broadcast-from-0, both
+// two-level: the backbone carries one reduced vector per cluster inbound
+// and one result vector per cluster outbound — once per slow link per
+// direction.
+func (c *Comm) compileAllreduceHier(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) *schedule {
+	b := newSched("allreduce.h")
+	acc := c.reduceHierRounds(b, sendBuf, count, dt, op, 0)
+	c.bcastHierRounds(b, acc, 0, c.bcastSegment(len(acc)))
+	return b.build(func() {
+		c.p.M.Compute(c.p.memTime(len(acc)))
+		UnpackBuf(recvBuf, count, dt, acc)
+	})
+}
+
+// compileGatherHier gathers via cluster-leader staging: members send
+// their block to their cluster's operation leader (the root stands in for
+// its own cluster), each leader concatenates its cluster's blocks in rank
+// order and ships one bundle to the root over the backbone.
+func (c *Comm) compileGatherHier(sendBuf, recvBuf []byte, count int, dt Datatype, root int) *schedule {
 	ct := c.topo()
 	sz := count * dt.Size()
 	ex := dt.Extent()
@@ -157,9 +171,11 @@ func (c *Comm) gatherHier(sendBuf, recvBuf []byte, count int, dt Datatype, root 
 		leader = root
 	}
 	mine := PackBuf(sendBuf, count, dt)
+	b := newSched("gather.h")
 
 	if c.myRank != leader {
-		return c.sendRaw(mine, leader, tagHGather, c.collCtx())
+		b.send(leader, mine)
+		return b.build(nil)
 	}
 
 	// Leader: stage my cluster's blocks, in ascending comm-rank order.
@@ -168,46 +184,50 @@ func (c *Comm) gatherHier(sendBuf, recvBuf []byte, count int, dt Datatype, root 
 	for i, m := range members {
 		slot := bundle[i*sz : (i+1)*sz]
 		if m == c.myRank {
-			c.p.M.Compute(c.p.memTime(sz))
-			copy(slot, mine)
+			b.copyStep(slot, mine)
 			continue
 		}
-		if _, err := c.recvRaw(slot, m, tagHGather, c.collCtx()); err != nil {
-			return err
-		}
+		b.recv(m, slot)
 	}
+	b.endRound()
 	if c.myRank != root {
-		return c.sendRaw(bundle, root, tagHGatherB, c.collCtx())
+		b.send(root, bundle)
+		return b.build(nil)
 	}
 
-	// Root: place my own cluster's bundle, then one bundle per remote
-	// cluster leader, scattered to each member's slot in recvBuf.
-	place := func(di int, b []byte) {
-		for i, m := range ct.clusters[di] {
-			UnpackBuf(recvBuf[m*count*ex:], count, dt, b[i*sz:(i+1)*sz])
-		}
-	}
-	place(ct.myCluster, bundle)
+	// Root: one bundle per remote cluster leader, scattered to each
+	// member's slot in recvBuf at completion.
+	remote := make([][]byte, ct.nClusters)
 	for di := 0; di < ct.nClusters; di++ {
 		if di == ct.myCluster {
 			continue
 		}
-		remoteLeader := ct.leaders[di]
-		rb := make([]byte, len(ct.clusters[di])*sz)
-		if _, err := c.recvRaw(rb, remoteLeader, tagHGatherB, c.collCtx()); err != nil {
-			return err
-		}
-		c.p.M.Compute(c.p.memTime(len(rb)))
-		place(di, rb)
+		remote[di] = make([]byte, len(ct.clusters[di])*sz)
+		b.recv(ct.leaders[di], remote[di])
 	}
-	return nil
+	b.endRound()
+	return b.build(func() {
+		place := func(di int, bun []byte) {
+			for i, m := range ct.clusters[di] {
+				UnpackBuf(recvBuf[m*count*ex:], count, dt, bun[i*sz:(i+1)*sz])
+			}
+		}
+		place(ct.myCluster, bundle)
+		for di := 0; di < ct.nClusters; di++ {
+			if di == ct.myCluster {
+				continue
+			}
+			c.p.M.Compute(c.p.memTime(len(remote[di])))
+			place(di, remote[di])
+		}
+	})
 }
 
-// allgatherHier: intra-cluster gather to the leader, a direct bundle
-// exchange among leaders (receives pre-posted, so concurrent rendez-vous
-// sends cannot deadlock), then an intra-cluster broadcast of the fully
-// assembled vector.
-func (c *Comm) allgatherHier(sendBuf, recvBuf []byte, count int, dt Datatype) error {
+// compileAllgatherHier: intra-cluster gather to the leader, a direct
+// bundle exchange among leaders (receives pre-posted, so concurrent
+// rendez-vous sends cannot deadlock), then an intra-cluster broadcast of
+// the fully assembled vector.
+func (c *Comm) compileAllgatherHier(sendBuf, recvBuf []byte, count int, dt Datatype) *schedule {
 	ct := c.topo()
 	n := c.Size()
 	sz := count * dt.Size()
@@ -225,77 +245,170 @@ func (c *Comm) allgatherHier(sendBuf, recvBuf []byte, count int, dt Datatype) er
 		}
 	}
 	mine := PackBuf(sendBuf, count, dt)
-
 	full := make([]byte, n*sz) // packed world vector, comm-rank order
+	b := newSched("allgather.h")
+
 	if c.myRank == leader {
 		bundle := make([]byte, len(members)*sz)
 		for i, m := range members {
 			slot := bundle[i*sz : (i+1)*sz]
 			if m == c.myRank {
-				c.p.M.Compute(c.p.memTime(sz))
-				copy(slot, mine)
+				b.copyStep(slot, mine)
 				continue
 			}
-			if _, err := c.recvRaw(slot, m, tagHAllgather, c.collCtx()); err != nil {
-				return err
-			}
+			b.recv(m, slot)
 		}
+		b.endRound()
 		// Leader exchange: every leader ships its cluster bundle to every
 		// other leader; L·(L−1) backbone messages total, one per directed
 		// leader pair.
 		bundles := make([][]byte, ct.nClusters)
 		bundles[ct.myCluster] = bundle
-		reqs := make([]*Request, 0, ct.nClusters-1)
 		for di := 0; di < ct.nClusters; di++ {
 			if di == ct.myCluster {
 				continue
 			}
 			bundles[di] = make([]byte, len(ct.clusters[di])*sz)
-			req, err := c.irecvRaw(bundles[di], ct.leaders[di], tagHAllgather)
-			if err != nil {
-				return err
-			}
-			reqs = append(reqs, req)
+			b.recv(ct.leaders[di], bundles[di])
 		}
 		for di := 0; di < ct.nClusters; di++ {
 			if di == ct.myCluster {
 				continue
 			}
-			if err := c.sendRaw(bundle, ct.leaders[di], tagHAllgather, c.collCtx()); err != nil {
-				return err
-			}
+			b.send(ct.leaders[di], bundle)
 		}
-		if err := WaitAll(reqs...); err != nil {
-			return err
-		}
+		b.endRound()
+		// Assemble the world vector from the cluster bundles.
 		for di := 0; di < ct.nClusters; di++ {
 			for i, m := range ct.clusters[di] {
-				copy(full[m*sz:(m+1)*sz], bundles[di][i*sz:(i+1)*sz])
+				b.copyStep(full[m*sz:(m+1)*sz], bundles[di][i*sz:(i+1)*sz])
 			}
 		}
-		c.p.M.Compute(c.p.memTime(n * sz))
+		b.endRound()
 	} else {
-		if err := c.sendRaw(mine, leader, tagHAllgather, c.collCtx()); err != nil {
-			return err
-		}
+		b.send(leader, mine)
+		b.endRound()
 	}
 
 	// Intra-cluster broadcast of the assembled vector.
 	parent, children := binomialOver(members, leaderPos, myPos)
 	if parent >= 0 {
-		if _, err := c.recvRaw(full, parent, tagHAllgather, c.collCtx()); err != nil {
-			return err
-		}
+		b.recv(parent, full)
+		b.endRound()
 	}
 	for _, ch := range children {
-		if err := c.sendRaw(full, ch, tagHAllgather, c.collCtx()); err != nil {
-			return err
+		b.send(ch, full)
+	}
+	return b.build(func() {
+		c.p.M.Compute(c.p.memTime(n * sz))
+		for r := 0; r < n; r++ {
+			UnpackBuf(recvBuf[r*count*ex:], count, dt, full[r*sz:(r+1)*sz])
 		}
-	}
+	})
+}
 
-	c.p.M.Compute(c.p.memTime(n * sz))
-	for r := 0; r < n; r++ {
-		UnpackBuf(recvBuf[r*count*ex:], count, dt, full[r*sz:(r+1)*sz])
+// compileAlltoallHier is the two-level all-to-all closing the last
+// ROADMAP heavy collective: members ship their whole send matrix to the
+// cluster leader, leaders pairwise-exchange per-cluster bundles (one
+// message per directed leader pair, so each backbone link is crossed
+// O(clusters) times instead of the pairwise rotation's O(n)), and each
+// leader scatters the reassembled per-member receive vectors back.
+//
+// Bundle layout from cluster S to cluster D: blocks ordered by (source
+// member index in S ascending, destination member index in D ascending).
+func (c *Comm) compileAlltoallHier(sendBuf, recvBuf []byte, count int, dt Datatype) *schedule {
+	ct := c.topo()
+	n := c.Size()
+	sz := count * dt.Size()
+	ex := dt.Extent()
+	members := ct.clusters[ct.myCluster]
+	leader := ct.leaders[ct.myCluster]
+	mine := PackBuf(sendBuf, n*count, dt) // my full send matrix, dense
+	b := newSched("alltoall.h")
+
+	var myRecv []byte // my dense receive vector, source-rank order
+	if c.myRank != leader {
+		myRecv = make([]byte, n*sz)
+		b.send(leader, mine)
+		b.endRound()
+		b.recv(leader, myRecv)
+		b.endRound()
+	} else {
+		// Phase 1: gather every member's send matrix.
+		mats := make([][]byte, len(members))
+		for i, m := range members {
+			if m == c.myRank {
+				mats[i] = mine
+				continue
+			}
+			mats[i] = make([]byte, n*sz)
+			b.recv(m, mats[i])
+		}
+		b.endRound()
+		// Phase 2: stage outbound bundles, then exchange among leaders
+		// (receives pre-posted alongside the sends, as in allgather).
+		out := make([][]byte, ct.nClusters)
+		in := make([][]byte, ct.nClusters)
+		for di := 0; di < ct.nClusters; di++ {
+			if di == ct.myCluster {
+				continue
+			}
+			dm := ct.clusters[di]
+			out[di] = make([]byte, len(members)*len(dm)*sz)
+			k := 0
+			for i := range members {
+				for _, dst := range dm {
+					b.copyStep(out[di][k*sz:(k+1)*sz], mats[i][dst*sz:(dst+1)*sz])
+					k++
+				}
+			}
+		}
+		b.endRound()
+		for di := 0; di < ct.nClusters; di++ {
+			if di == ct.myCluster {
+				continue
+			}
+			in[di] = make([]byte, len(ct.clusters[di])*len(members)*sz)
+			b.recv(ct.leaders[di], in[di])
+		}
+		for di := 0; di < ct.nClusters; di++ {
+			if di == ct.myCluster {
+				continue
+			}
+			b.send(ct.leaders[di], out[di])
+		}
+		b.endRound()
+		// Phase 3: assemble each member's receive vector and scatter.
+		vec := make([][]byte, len(members))
+		for j := range members {
+			vec[j] = make([]byte, n*sz)
+			for i, src := range members {
+				b.copyStep(vec[j][src*sz:(src+1)*sz], mats[i][members[j]*sz:(members[j]+1)*sz])
+			}
+			for di := 0; di < ct.nClusters; di++ {
+				if di == ct.myCluster {
+					continue
+				}
+				for i, src := range ct.clusters[di] {
+					blk := in[di][(i*len(members)+j)*sz : (i*len(members)+j+1)*sz]
+					b.copyStep(vec[j][src*sz:(src+1)*sz], blk)
+				}
+			}
+		}
+		b.endRound()
+		for j, m := range members {
+			if m == c.myRank {
+				myRecv = vec[j]
+				continue
+			}
+			b.send(m, vec[j])
+		}
+		b.endRound()
 	}
-	return nil
+	return b.build(func() {
+		c.p.M.Compute(c.p.memTime(n * sz))
+		for r := 0; r < n; r++ {
+			UnpackBuf(recvBuf[r*count*ex:], count, dt, myRecv[r*sz:(r+1)*sz])
+		}
+	})
 }

@@ -132,7 +132,8 @@ func TestIsendIrecvWaitTest(t *testing.T) {
 				}
 				reqs = append(reqs, r)
 			}
-			return mpi.WaitAll(reqs...)
+			_, err := mpi.WaitAll(reqs...)
+			return err
 		}
 		bufs := make([][]byte, 3)
 		var reqs []*mpi.Request

@@ -1,0 +1,253 @@
+// Nonblocking collectives (the Icoll API) and the per-communicator
+// progress engine that executes compiled schedules.
+//
+// Each Icoll call compiles its algorithm into a schedule (schedule.go),
+// assigns it the next tag in the communicator's collective sequence and
+// hands it to the engine, which runs submitted schedules in order on a
+// dedicated Marcel thread. Because Marcel threads are cooperative, the
+// engine makes progress exactly when the application thread blocks,
+// computes or yields — the paper's decoupling of communication progress
+// from the application thread, applied to collectives. The application
+// gets a CollRequest and overlaps computation until Wait/Test.
+//
+// MPI requires every member to issue collectives on a communicator in the
+// same order, so the per-communicator sequence numbers agree across ranks
+// and in-order execution can never deadlock (it is equivalent to the
+// blocking call sequence). The unique per-operation tag keeps messages of
+// operation k+1 — possibly already arriving from a faster peer — from
+// matching operation k's receives.
+package mpi
+
+import (
+	"fmt"
+
+	"mpichmad/internal/vtime"
+)
+
+// tagNBCBase offsets schedule tags past the static collective tags
+// (Gatherv/Scatterv/Scan) that share the collective context.
+const tagNBCBase = 1 << 10
+
+// CollRequest is an outstanding nonblocking collective (MPI_Request for
+// the MPI-3 I-collectives).
+type CollRequest struct {
+	c    *Comm
+	sch  *schedule
+	done *vtime.Event
+	err  error
+}
+
+// Wait blocks until the collective completes (MPI_Wait).
+func (r *CollRequest) Wait() error {
+	r.done.Wait()
+	return r.err
+}
+
+// Test reports completion without blocking indefinitely (MPI_Test). Like
+// MPICH's request polling it is also a progress call: when the operation
+// is still in flight the caller sleeps one poll quantum of virtual time,
+// which hands the cooperative CPU to the engine thread — a Test poll loop
+// therefore drives the schedule instead of livelocking the scheduler.
+func (r *CollRequest) Test() (bool, error) {
+	if !r.done.Fired() {
+		r.c.p.M.Sleep(vtime.Microsecond)
+		if !r.done.Fired() {
+			return false, nil
+		}
+	}
+	return true, r.err
+}
+
+// collEngine is a communicator's collective progress state: the sequence
+// allocator and the queue of submitted-but-unfinished schedules.
+type collEngine struct {
+	seq     int
+	queue   []*collJob
+	running bool
+}
+
+type collJob struct {
+	req *CollRequest
+	tag int
+}
+
+// submit queues a compiled schedule on the communicator's progress engine
+// and returns its request. Purely local schedules (size-1 communicators)
+// run inline. The engine thread is spawned on demand and exits when the
+// queue drains, so idle communicators cost nothing.
+func (c *Comm) submit(sch *schedule) *CollRequest {
+	req := &CollRequest{c: c, sch: sch,
+		done: vtime.NewEvent(c.p.M.S, "mpi.icoll."+sch.name)}
+	if sch.local() {
+		req.err = c.execSchedule(sch, 0)
+		req.done.Fire()
+		return req
+	}
+	if c.eng == nil {
+		c.eng = &collEngine{}
+	}
+	eng := c.eng
+	eng.queue = append(eng.queue, &collJob{req: req, tag: tagNBCBase + eng.seq})
+	eng.seq++
+	if !eng.running {
+		eng.running = true
+		c.p.M.Spawn("nbc.progress", func() { c.progress() })
+	}
+	return req
+}
+
+// progress drains the engine queue, executing schedules in submission
+// order and firing each request's completion event.
+func (c *Comm) progress() {
+	eng := c.eng
+	for len(eng.queue) > 0 {
+		job := eng.queue[0]
+		eng.queue = eng.queue[1:]
+		job.req.err = c.execSchedule(job.req.sch, job.tag)
+		job.req.done.Fire()
+	}
+	eng.running = false
+}
+
+// noRoot marks the rootless collectives in startColl calls; it is not a
+// valid root value a caller could mean (checkPeer rejects every negative
+// root on the rooted operations).
+const noRoot = -1
+
+// startColl is the shared Icoll entry: validity checks, then compile and
+// submit. compile runs with the communicator checks already done.
+func (c *Comm) startColl(op string, hasRoot bool, root int, compile func() *schedule) (*CollRequest, error) {
+	if err := c.checkLive(op); err != nil {
+		return nil, err
+	}
+	if hasRoot {
+		if err := c.checkPeer(op, root); err != nil {
+			return nil, err
+		}
+	}
+	return c.submit(compile()), nil
+}
+
+// checkBuf validates a user buffer against the element count before
+// compiling, so misuse fails synchronously at the call site instead of
+// panicking later on the engine thread.
+func (c *Comm) checkBuf(op, which string, buf []byte, elems int, dt Datatype) error {
+	if need := elems * dt.Extent(); len(buf) < need {
+		return fmt.Errorf("mpi: %s: %s buffer is %d bytes, need %d", op, which, len(buf), need)
+	}
+	return nil
+}
+
+// Ibarrier starts a nonblocking barrier (MPI_Ibarrier).
+func (c *Comm) Ibarrier() (*CollRequest, error) {
+	return c.startColl("Ibarrier", false, noRoot, func() *schedule {
+		if c.chooseAlgo(kindBarrier, 0) != algoFlat {
+			return c.compileBarrierHier()
+		}
+		return c.compileBarrierFlat()
+	})
+}
+
+// Ibcast starts a nonblocking broadcast (MPI_Ibcast). The root's buf must
+// stay untouched until completion; other ranks' buf is filled at Wait.
+func (c *Comm) Ibcast(buf []byte, count int, dt Datatype, root int) (*CollRequest, error) {
+	if err := c.checkBuf("Ibcast", "data", buf, count, dt); err != nil {
+		return nil, err
+	}
+	return c.startColl("Ibcast", true, root, func() *schedule {
+		switch c.chooseAlgo(kindBcast, count*dt.Size()) {
+		case algoHier:
+			return c.compileBcastHier(buf, count, dt, root, 0)
+		case algoHierSegmented:
+			return c.compileBcastHier(buf, count, dt, root, c.segmentBytes())
+		}
+		return c.compileBcastFlat(buf, count, dt, root)
+	})
+}
+
+// Ireduce starts a nonblocking reduction to root (MPI_Ireduce).
+func (c *Comm) Ireduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) (*CollRequest, error) {
+	if err := c.checkBuf("Ireduce", "send", sendBuf, count, dt); err != nil {
+		return nil, err
+	}
+	if c.myRank == root {
+		if err := c.checkBuf("Ireduce", "recv", recvBuf, count, dt); err != nil {
+			return nil, err
+		}
+	}
+	return c.startColl("Ireduce", true, root, func() *schedule {
+		if c.chooseAlgo(kindReduce, count*dt.Size()) != algoFlat {
+			return c.compileReduceHier(sendBuf, recvBuf, count, dt, op, root)
+		}
+		return c.compileReduceFlat(sendBuf, recvBuf, count, dt, op, root)
+	})
+}
+
+// Iallreduce starts a nonblocking all-reduce (MPI_Iallreduce): a reduce
+// to rank 0 chained with a broadcast, compiled into one schedule.
+func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) (*CollRequest, error) {
+	if err := c.checkBuf("Iallreduce", "send", sendBuf, count, dt); err != nil {
+		return nil, err
+	}
+	if err := c.checkBuf("Iallreduce", "recv", recvBuf, count, dt); err != nil {
+		return nil, err
+	}
+	return c.startColl("Iallreduce", false, noRoot, func() *schedule {
+		if c.chooseAlgo(kindAllreduce, count*dt.Size()) != algoFlat {
+			return c.compileAllreduceHier(sendBuf, recvBuf, count, dt, op)
+		}
+		return c.compileAllreduceFlat(sendBuf, recvBuf, count, dt, op)
+	})
+}
+
+// Igather starts a nonblocking gather to root (MPI_Igather).
+func (c *Comm) Igather(sendBuf, recvBuf []byte, count int, dt Datatype, root int) (*CollRequest, error) {
+	if err := c.checkBuf("Igather", "send", sendBuf, count, dt); err != nil {
+		return nil, err
+	}
+	if c.myRank == root {
+		if err := c.checkBuf("Igather", "recv", recvBuf, c.Size()*count, dt); err != nil {
+			return nil, err
+		}
+	}
+	return c.startColl("Igather", true, root, func() *schedule {
+		if c.chooseAlgo(kindGather, count*dt.Size()) != algoFlat {
+			return c.compileGatherHier(sendBuf, recvBuf, count, dt, root)
+		}
+		return c.compileGatherFlat(sendBuf, recvBuf, count, dt, root)
+	})
+}
+
+// Iallgather starts a nonblocking all-gather (MPI_Iallgather).
+func (c *Comm) Iallgather(sendBuf, recvBuf []byte, count int, dt Datatype) (*CollRequest, error) {
+	if err := c.checkBuf("Iallgather", "send", sendBuf, count, dt); err != nil {
+		return nil, err
+	}
+	if err := c.checkBuf("Iallgather", "recv", recvBuf, c.Size()*count, dt); err != nil {
+		return nil, err
+	}
+	return c.startColl("Iallgather", false, noRoot, func() *schedule {
+		if c.chooseAlgo(kindAllgather, count*dt.Size()) != algoFlat {
+			return c.compileAllgatherHier(sendBuf, recvBuf, count, dt)
+		}
+		return c.compileAllgatherFlat(sendBuf, recvBuf, count, dt)
+	})
+}
+
+// Ialltoall starts a nonblocking all-to-all (MPI_Ialltoall). On
+// multi-cluster topologies the two-level schedule bundles traffic through
+// cluster leaders so each backbone link is crossed O(clusters) times
+// instead of O(n) (see compileAlltoallHier).
+func (c *Comm) Ialltoall(sendBuf, recvBuf []byte, count int, dt Datatype) (*CollRequest, error) {
+	want := c.Size() * count * dt.Extent()
+	if len(sendBuf) < want || len(recvBuf) < want {
+		return nil, fmt.Errorf("mpi: Ialltoall: buffers need %d bytes (send %d, recv %d)",
+			want, len(sendBuf), len(recvBuf))
+	}
+	return c.startColl("Ialltoall", false, noRoot, func() *schedule {
+		if c.chooseAlgo(kindAlltoall, c.Size()*count*dt.Size()) != algoFlat {
+			return c.compileAlltoallHier(sendBuf, recvBuf, count, dt)
+		}
+		return c.compileAlltoallFlat(sendBuf, recvBuf, count, dt)
+	})
+}

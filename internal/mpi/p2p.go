@@ -71,18 +71,6 @@ func (c *Comm) sendRaw(data []byte, dest, tag, ctx int) error {
 	return sr.Err
 }
 
-// irecvOn posts a raw non-blocking receive with an explicit world source
-// and context (collective internals).
-func (c *Comm) irecvOn(buf []byte, worldSrc, tag, ctx int) (*Request, error) {
-	rr := &adi.RecvReq{
-		Src: worldSrc, Tag: tag, Context: ctx,
-		Buf:  buf,
-		Done: vtime.NewEvent(c.p.M.S, "mpi.irecvraw"),
-	}
-	c.p.Eng.PostRecv(rr)
-	return &Request{c: c, rr: rr}, nil
-}
-
 // recvRaw posts and completes a receive of packed bytes on an explicit
 // context; src/tag in communicator terms (wildcards allowed).
 func (c *Comm) recvRaw(buf []byte, src, tag, ctx int) (*Status, error) {
@@ -246,6 +234,8 @@ func (r *Request) Test() (done bool, st *Status, err error) {
 	return true, st, err
 }
 
+// doneEvent returns the request's completion event; every Request holds
+// exactly one of sr/rr, so this never returns nil.
 func (r *Request) doneEvent() *vtime.Event {
 	if r.sr != nil {
 		return r.sr.Done
@@ -253,16 +243,19 @@ func (r *Request) doneEvent() *vtime.Event {
 	return r.rr.Done
 }
 
-// WaitAll completes every request (MPI_Waitall), returning the first
-// error encountered.
-func WaitAll(reqs ...*Request) error {
+// WaitAll completes every request (MPI_Waitall), returning one status per
+// request in order (nil for sends) and the first error encountered.
+func WaitAll(reqs ...*Request) ([]*Status, error) {
+	statuses := make([]*Status, len(reqs))
 	var first error
-	for _, r := range reqs {
-		if _, err := r.Wait(); err != nil && first == nil {
+	for i, r := range reqs {
+		st, err := r.Wait()
+		statuses[i] = st
+		if err != nil && first == nil {
 			first = err
 		}
 	}
-	return first
+	return statuses, first
 }
 
 // Sendrecv exchanges messages with (possibly different) partners without

@@ -1,0 +1,200 @@
+// Collective schedules: the intermediate representation every collective
+// algorithm (flat or hierarchical) compiles into, and the executor that
+// the per-communicator progress engine (nbc.go) drives.
+//
+// A schedule is a DAG of rounds linearized in dependency order. Each round
+// holds steps of four kinds — send, recv, local reduce, local copy — with
+// the invariant that a round's transfers are independent of each other:
+// the executor pre-posts every receive of the round, streams out the
+// sends, waits for the receives, then runs the round's local steps in
+// listed order. Data dependencies between rounds are expressed purely
+// through shared staging buffers: a send step in round k+1 that names a
+// buffer filled by a receive in round k automatically forwards the
+// received bytes, which is how store-and-forward trees and pipelined
+// segments are written as plain data.
+//
+// Compiling an algorithm therefore fixes, at submit time, every message
+// (peer, payload, order) and every CPU charge the operation will incur;
+// executing it needs no algorithm-specific code at all. This is the
+// libNBC/MPI-3 nonblocking-collectives design: new algorithms (two-level
+// Alltoall, ring Allreduce, autotuner sweeps) are new compilers producing
+// the same IR, not new execution paths.
+package mpi
+
+import (
+	"mpichmad/internal/adi"
+	"mpichmad/internal/vtime"
+)
+
+// stepKind discriminates schedule steps.
+type stepKind int
+
+const (
+	stepSend   stepKind = iota // transmit buf to peer
+	stepRecv                   // land a message from peer into buf
+	stepReduce                 // dst = op(dst, src), count elements of dt
+	stepCopy                   // dst = src, charged as a local memcpy
+)
+
+// step is one schedule operation. Transfers use peer (comm rank) and buf;
+// local steps use dst/src (reduce additionally count/dt/op).
+type step struct {
+	kind stepKind
+	peer int
+	buf  []byte
+
+	dst, src []byte
+	count    int
+	dt       Datatype
+	op       Op
+}
+
+// round is a set of steps whose transfers may be in flight concurrently.
+type round struct {
+	steps []step
+}
+
+// schedule is a compiled collective operation.
+type schedule struct {
+	name   string
+	rounds []round
+	// fin runs after the last round: unpacking staging into the user's
+	// receive buffer plus the associated CPU charge. May be nil.
+	fin func()
+}
+
+// schedBuilder accumulates rounds. The zero value (via newSched) starts
+// with an open empty round; endRound closes it and opens the next.
+type schedBuilder struct {
+	sch *schedule
+	cur round
+}
+
+func newSched(name string) *schedBuilder {
+	return &schedBuilder{sch: &schedule{name: name}}
+}
+
+// endRound seals the open round (dropped when empty) and opens a new one.
+func (b *schedBuilder) endRound() {
+	if len(b.cur.steps) > 0 {
+		b.sch.rounds = append(b.sch.rounds, b.cur)
+		b.cur = round{}
+	}
+}
+
+func (b *schedBuilder) send(to int, buf []byte) {
+	b.cur.steps = append(b.cur.steps, step{kind: stepSend, peer: to, buf: buf})
+}
+
+func (b *schedBuilder) recv(from int, buf []byte) {
+	b.cur.steps = append(b.cur.steps, step{kind: stepRecv, peer: from, buf: buf})
+}
+
+func (b *schedBuilder) reduce(dst, src []byte, count int, dt Datatype, op Op) {
+	b.cur.steps = append(b.cur.steps, step{kind: stepReduce, dst: dst, src: src, count: count, dt: dt, op: op})
+}
+
+func (b *schedBuilder) copyStep(dst, src []byte) {
+	b.cur.steps = append(b.cur.steps, step{kind: stepCopy, dst: dst, src: src})
+}
+
+// build seals the schedule with its completion closure.
+func (b *schedBuilder) build(fin func()) *schedule {
+	b.endRound()
+	b.sch.fin = fin
+	return b.sch
+}
+
+// local reports whether the schedule moves no bytes over the network
+// (size-1 communicators, self-rooted trivial cases); such schedules run
+// inline at submit instead of through the progress engine.
+func (sch *schedule) local() bool {
+	for _, rd := range sch.rounds {
+		for _, st := range rd.steps {
+			if st.kind == stepSend || st.kind == stepRecv {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// execSchedule runs a compiled schedule to completion on the calling
+// (engine) thread. All messages travel on the communicator's collective
+// context under the schedule's unique tag; FIFO matching per (source, tag)
+// pairs same-peer transfers of different rounds correctly because both
+// sides order them identically.
+//
+// Receives are pre-posted with an adi completion hook counting down to a
+// per-round event, so a round with many receives blocks exactly once
+// however the completions interleave with the round's outbound sends.
+func (c *Comm) execSchedule(sch *schedule, tag int) error {
+	for ri := range sch.rounds {
+		rd := &sch.rounds[ri]
+
+		nRecv := 0
+		for _, st := range rd.steps {
+			if st.kind == stepRecv {
+				nRecv++
+			}
+		}
+		var recvsDone *vtime.Event
+		var rrs []*adi.RecvReq
+		if nRecv > 0 {
+			recvsDone = vtime.NewEvent(c.p.M.S, "mpi.sched."+sch.name)
+			pending := nRecv
+			for _, st := range rd.steps {
+				if st.kind != stepRecv {
+					continue
+				}
+				rr := &adi.RecvReq{
+					Src: c.group[st.peer], Tag: tag, Context: c.collCtx(),
+					Buf:  st.buf,
+					Done: vtime.NewEvent(c.p.M.S, "mpi.sched.recv"),
+					OnComplete: func() {
+						pending--
+						if pending == 0 {
+							recvsDone.Fire()
+						}
+					},
+				}
+				c.p.Eng.PostRecv(rr)
+				rrs = append(rrs, rr)
+			}
+		}
+
+		for _, st := range rd.steps {
+			if st.kind != stepSend {
+				continue
+			}
+			if err := c.sendRaw(st.buf, st.peer, tag, c.collCtx()); err != nil {
+				return err
+			}
+		}
+
+		if recvsDone != nil {
+			recvsDone.Wait()
+			for _, rr := range rrs {
+				if rr.Err != nil {
+					return rr.Err
+				}
+			}
+		}
+
+		for _, st := range rd.steps {
+			switch st.kind {
+			case stepReduce:
+				if err := st.op.Apply(st.dst, st.src, st.count, st.dt); err != nil {
+					return err
+				}
+			case stepCopy:
+				c.p.M.Compute(c.p.memTime(len(st.src)))
+				copy(st.dst, st.src)
+			}
+		}
+	}
+	if sch.fin != nil {
+		sch.fin()
+	}
+	return nil
+}

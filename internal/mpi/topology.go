@@ -1,3 +1,5 @@
+package mpi
+
 // Topology-aware collectives: hierarchy discovery metadata and the
 // MPICH-style tuning table that selects between flat (topology-blind) and
 // two-level (cluster-of-clusters) collective algorithms.
@@ -20,7 +22,6 @@
 // mirroring MPICH's coll_tuned framework; the flat algorithms remain both
 // the single-cluster fast path and the cross-check reference for the
 // equivalence property tests.
-package mpi
 
 // Link describes one network class of the hierarchy in plain numbers
 // (derived from the netsim cost model by the cluster session), enough for
@@ -148,6 +149,7 @@ const (
 	kindAllreduce
 	kindGather
 	kindAllgather
+	kindAlltoall
 )
 
 // defaultSegmentBytes bounds the pipelined-broadcast segment when the
@@ -212,6 +214,18 @@ func (c *Comm) chooseAlgo(kind collKind, nBytes int) collAlgo {
 		// data; past a few MB the copy cost outweighs the saved
 		// slow-link message setups, so fall back to the flat tree.
 		if nBytes*c.Size() > 4<<20 {
+			return algoFlat
+		}
+		return algoHier
+	case kindAlltoall:
+		// nBytes is the full per-rank matrix. Leader bundling always wins
+		// on backbone crossings (O(clusters) vs O(n^2)), but netsim gives
+		// each directed pair its own pipe — the flat rotation's many
+		// crossings stream in parallel while the bundles serialize on the
+		// single leader-pair pipe — so on time it only pays while message
+		// setup latency dominates. A per-network bandwidth cap (ROADMAP)
+		// would move this crossover well up.
+		if nBytes > 2<<10 {
 			return algoFlat
 		}
 		return algoHier

@@ -83,6 +83,7 @@ type Event struct {
 	name    string
 	fired   bool
 	waiters []*Task
+	subs    []func()
 }
 
 // NewEvent creates an unfired event.
@@ -114,6 +115,34 @@ func (e *Event) Fire() {
 	e.waiters = nil
 	for _, t := range ws {
 		e.s.wake(t)
+	}
+	subs := e.subs
+	e.subs = nil
+	for _, fn := range subs {
+		if fn != nil {
+			fn()
+		}
+	}
+}
+
+// OnFire registers fn to run when the event fires; if it already fired,
+// fn runs immediately. fn executes in whatever context calls Fire (task
+// or scheduler callback) and must not block — it may fire other events,
+// which is how multi-event waits (MPI_Waitany, collective progress
+// rounds) are built without polling. The returned cancel drops the
+// subscription so callers waiting on many events don't leave dead
+// closures on the ones that never fired.
+func (e *Event) OnFire(fn func()) (cancel func()) {
+	if e.fired {
+		fn()
+		return func() {}
+	}
+	e.subs = append(e.subs, fn)
+	i := len(e.subs) - 1
+	return func() {
+		if !e.fired && i < len(e.subs) {
+			e.subs[i] = nil
+		}
 	}
 }
 
