@@ -262,7 +262,8 @@ func writeCollectivesJSON(b *testing.B, res *experiments.Result) {
 		Series     []series `json:"series"`
 	}{
 		Experiment: res.Title,
-		Topology:   "2 SCI islands x 4 single-proc nodes, interleaved ranks, TCP backbone",
+		Topology: "2 SCI islands x 4 single-proc nodes, interleaved ranks, TCP backbone" +
+			" (_cap series: backbone trunk capped at the TCP rate via netsim.Params.NetworkBandwidth)",
 	}
 	for _, s := range res.Series {
 		sr := series{Name: s.Name}

@@ -1,0 +1,122 @@
+// Command benchcheck is the CI bench-regression gate: it reads the
+// regenerated BENCH_collectives.json (written by BenchmarkHierCollectives)
+// and fails if the hierarchy-aware algorithms stop beating their flat
+// counterparts on simulated time where they are supposed to — most
+// importantly, if Allreduce_2level loses to Allreduce_flat at large
+// message sizes on the contended-backbone 2x4 heterogeneous topology.
+//
+// Usage:
+//
+//	benchcheck [-f BENCH_collectives.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type point struct {
+	SizeBytes int     `json:"size_bytes"`
+	VirtualUS float64 `json:"virtual_us"`
+}
+
+type series struct {
+	Name   string  `json:"name"`
+	Points []point `json:"points"`
+}
+
+type benchFile struct {
+	Experiment string   `json:"experiment"`
+	Topology   string   `json:"topology"`
+	Series     []series `json:"series"`
+}
+
+// rule asserts that the challenger series is strictly faster than the
+// incumbent at every recorded size >= minSize.
+type rule struct {
+	challenger, incumbent string
+	minSize               int
+	why                   string
+}
+
+func main() {
+	file := flag.String("f", "BENCH_collectives.json", "bench series file to check")
+	flag.Parse()
+
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		fatal(fmt.Errorf("%s: %w", *file, err))
+	}
+	byName := make(map[string]map[int]float64)
+	for _, s := range bf.Series {
+		m := make(map[int]float64)
+		for _, p := range s.Points {
+			m[p.SizeBytes] = p.VirtualUS
+		}
+		byName[s.Name] = m
+	}
+
+	rules := []rule{
+		{"Allreduce_2level_cap", "Allreduce_flat_cap", 64 << 10,
+			"two-level Allreduce must beat flat on time under backbone contention"},
+		{"Bcast_2level_cap", "Bcast_flat_cap", 64 << 10,
+			"two-level Bcast must beat flat on time under backbone contention"},
+		{"Allreduce_ring2l_cap", "Allreduce_flat_cap", 64 << 10,
+			"two-level ring Allreduce must beat the flat tree under backbone contention"},
+		{"Allreduce_ring", "Allreduce_flat", 64 << 10,
+			"ring Allreduce must beat the binomial tree for large vectors"},
+	}
+
+	failed := 0
+	for _, r := range rules {
+		ch, ok := byName[r.challenger]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: series %q missing from %s\n", r.challenger, *file)
+			failed++
+			continue
+		}
+		inc, ok := byName[r.incumbent]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: series %q missing from %s\n", r.incumbent, *file)
+			failed++
+			continue
+		}
+		checked := 0
+		for size, incUS := range inc {
+			if size < r.minSize {
+				continue
+			}
+			chUS, ok := ch[size]
+			if !ok {
+				continue
+			}
+			checked++
+			if chUS >= incUS {
+				fmt.Fprintf(os.Stderr,
+					"benchcheck: FAIL: %s (%.1f us) not faster than %s (%.1f us) at %d B — %s\n",
+					r.challenger, chUS, r.incumbent, incUS, size, r.why)
+				failed++
+			}
+		}
+		if checked == 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: no common sizes >= %d B for %s vs %s\n",
+				r.minSize, r.challenger, r.incumbent)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d rules hold on %s\n", len(rules), *file)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

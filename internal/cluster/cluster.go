@@ -51,6 +51,13 @@ type Topology struct {
 	// gateway nodes (ch_mad only).
 	Forwarding bool
 
+	// Autotune runs the MPI_Init collective autotuner on every rank
+	// before the rank main: candidate algorithms are timed on the live
+	// topology and the measured crossover table replaces the analytic
+	// tuning thresholds (see mpi.Process.Autotune). Costs a little
+	// virtual init time per rank program.
+	Autotune bool
+
 	// Deadline bounds the session's virtual time (default 1000 s).
 	Deadline vtime.Duration
 }
@@ -373,6 +380,12 @@ func (sess *Session) Run(main func(rank int, comm *mpi.Comm) error) error {
 	for _, rk := range sess.Ranks {
 		rk := rk
 		rk.Proc.Spawn("main", func() {
+			if sess.Topo.Autotune {
+				if err := rk.MPI.Autotune(); err != nil {
+					sess.rankErr[rk.Rank] = fmt.Errorf("rank %d autotune: %w", rk.Rank, err)
+					return
+				}
+			}
 			if err := main(rk.Rank, rk.MPI.World); err != nil {
 				sess.rankErr[rk.Rank] = fmt.Errorf("rank %d: %w", rk.Rank, err)
 				return

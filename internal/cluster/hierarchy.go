@@ -117,7 +117,10 @@ func (sess *Session) linkFor(netName string, maxSegment int) mpi.Link {
 	if maxSegment > 0 && seg > maxSegment {
 		seg = maxSegment
 	}
-	return mpi.Link{Net: netName, LatencyUS: lat, BandwidthMBs: bw, SegmentBytes: seg}
+	return mpi.Link{
+		Net: netName, LatencyUS: lat, BandwidthMBs: bw, SegmentBytes: seg,
+		SharedMBs: params.NetworkBandwidth / netsim.MB,
+	}
 }
 
 // Hierarchy returns the discovered cluster structure (also installed on

@@ -319,12 +319,31 @@ func Forwarding() (*Result, error) {
 		'a', []*stats.Series{direct, series}), nil
 }
 
-// HierCollectives (X4) compares the flat (topology-blind) and two-level
-// (hierarchy-aware) collective algorithms on a two-cluster heterogeneous
-// topology: two 4-node SCI islands joined by a TCP backbone, with node
-// declarations interleaved so consecutive ranks alternate islands (the
-// adversarial placement for a flat binomial tree). Reported value is the
-// per-operation completion time at rank 0.
+// HierCollectives (X4) compares the flat (topology-blind), two-level
+// (hierarchy-aware) and ring collective algorithms on a two-cluster
+// heterogeneous topology: two 4-node SCI islands joined by a TCP
+// backbone, with node declarations interleaved so consecutive ranks
+// alternate islands (the adversarial placement for a flat binomial tree).
+// Reported value is the per-operation completion time at rank 0.
+//
+// The *_cap series rerun the headline operations with the backbone's
+// aggregate-bandwidth arbiter on (netsim.Params.NetworkBandwidth set to
+// the TCP rate): every backbone crossing now queues at the shared trunk,
+// so flat algorithms stop getting their many crossings for free and the
+// two-level Bcast/Allreduce win on *time* from a few hundred bytes up
+// (at 8 B the extra leader hop still costs ~1 us), not just on message
+// count — flat Bcast pushes n/2 copies of the vector through the trunk
+// where two-level pushes one. Alltoall is the honest exception:
+// bundling conserves backbone bytes exactly — every (src, dst) block is
+// unique — so past the setup-dominated regime both algorithms sit on the
+// same trunk serialization floor and two-level only wins below a few KB
+// per block. The contention table below the sweep reports the trunk
+// queueing delay and peak occupancy each algorithm inflicted at the
+// largest payload.
+//
+// Allreduce_ring is the flat bandwidth-optimal ring (reduce-scatter +
+// allgather); Allreduce_ring2l_cap is its two-level form (intra-cluster
+// rings around the single leader exchange) under the capped backbone.
 //
 // The *_ovl series measure the schedule engine's overlap: each iteration
 // starts the nonblocking two-level operation, runs a chunked compute loop
@@ -334,8 +353,10 @@ func Forwarding() (*Result, error) {
 func HierCollectives() (*Result, error) {
 	sizes := []int{8, 256, 4 << 10, 64 << 10, 256 << 10}
 	topo := hierTopo()
+	capped := hierTopoCapped()
 	type bench struct {
 		name string
+		topo cluster.Topology
 		mode mpi.CollMode
 		op   func(comm *mpi.Comm, size int) error
 	}
@@ -359,22 +380,36 @@ func HierCollectives() (*Result, error) {
 		return comm.Alltoall(send, recv, size, mpi.Byte)
 	}
 	benches := []bench{
-		{"Bcast_flat", mpi.CollFlat, bcast},
-		{"Bcast_2level", mpi.CollHier, bcast},
-		{"Allreduce_flat", mpi.CollFlat, allreduce},
-		{"Allreduce_2level", mpi.CollHier, allreduce},
-		{"Allgather_flat", mpi.CollFlat, allgather},
-		{"Allgather_2level", mpi.CollHier, allgather},
-		{"Alltoall_flat", mpi.CollFlat, alltoall},
-		{"Alltoall_2level", mpi.CollHier, alltoall},
+		{"Bcast_flat", topo, mpi.CollFlat, bcast},
+		{"Bcast_2level", topo, mpi.CollHier, bcast},
+		{"Allreduce_flat", topo, mpi.CollFlat, allreduce},
+		{"Allreduce_2level", topo, mpi.CollHier, allreduce},
+		{"Allreduce_ring", topo, mpi.CollRing, allreduce},
+		{"Allgather_flat", topo, mpi.CollFlat, allgather},
+		{"Allgather_2level", topo, mpi.CollHier, allgather},
+		{"Alltoall_flat", topo, mpi.CollFlat, alltoall},
+		{"Alltoall_2level", topo, mpi.CollHier, alltoall},
+		{"Bcast_flat_cap", capped, mpi.CollFlat, bcast},
+		{"Bcast_2level_cap", capped, mpi.CollHier, bcast},
+		{"Allreduce_flat_cap", capped, mpi.CollFlat, allreduce},
+		{"Allreduce_2level_cap", capped, mpi.CollHier, allreduce},
+		{"Allreduce_ring2l_cap", capped, mpi.CollHierRing, allreduce},
+		{"Alltoall_flat_cap", capped, mpi.CollFlat, alltoall},
+		{"Alltoall_2level_cap", capped, mpi.CollHier, alltoall},
 	}
 	perOpTime := make(map[string]map[int]vtime.Duration)
+	type contention struct {
+		name      string
+		queueMS   float64
+		peakDepth int
+	}
+	var contentions []contention
 	var series []*stats.Series
 	for _, bm := range benches {
 		s := &stats.Series{Name: bm.name}
 		perOpTime[bm.name] = make(map[int]vtime.Duration)
 		for _, size := range sizes {
-			sess, err := cluster.Build(topo)
+			sess, err := cluster.Build(bm.topo)
 			if err != nil {
 				return nil, err
 			}
@@ -402,6 +437,15 @@ func HierCollectives() (*Result, error) {
 			}
 			perOpTime[bm.name][size] = perOp
 			s.Add(size, perOp)
+			if size == sizes[len(sizes)-1] {
+				if st := sess.Networks["wan"].Stats; st.TrunkQueueDelay > 0 || st.TrunkPeak > 0 {
+					contentions = append(contentions, contention{
+						name:      bm.name,
+						queueMS:   st.TrunkQueueDelay.Seconds() * 1e3,
+						peakDepth: st.TrunkPeak,
+					})
+				}
+			}
 		}
 		series = append(series, s)
 	}
@@ -472,9 +516,68 @@ func HierCollectives() (*Result, error) {
 		}
 		series = append(series, s)
 	}
-	return render("hcoll",
-		"Extension X4: flat vs two-level vs nonblocking-overlap collectives on a 2x4-rank cluster-of-clusters",
-		'a', series), nil
+	res := render("hcoll",
+		"Extension X4: flat vs two-level vs ring vs nonblocking-overlap collectives on a 2x4-rank cluster-of-clusters",
+		'a', series)
+
+	// Backbone contention table: trunk queueing inflicted at the largest
+	// payload by each algorithm on the capped backbone.
+	var b strings.Builder
+	b.WriteString(res.Text)
+	fmt.Fprintf(&b, "\nBackbone contention at %s (wan trunk capped at the TCP rate):\n",
+		stats.SizeLabel(sizes[len(sizes)-1]))
+	fmt.Fprintf(&b, "%-22s %18s %12s\n", "series", "queue delay(ms)", "peak depth")
+	for _, ct := range contentions {
+		fmt.Fprintf(&b, "%-22s %18.2f %12d\n", ct.name, ct.queueMS, ct.peakDepth)
+	}
+
+	// MPI_Init autotuner: the crossover table measured on the capped
+	// topology (what CollAuto dispatches through when Topology.Autotune
+	// is on).
+	tuned, err := autotunedTable(capped)
+	if err != nil {
+		return nil, err
+	}
+	b.WriteString("\nAutotuned crossover table (capped backbone, measured at MPI_Init):\n")
+	fmt.Fprintf(&b, "%-14s %14s %14s\n", "operation", "payload <=", "algorithm")
+	for _, tc := range tuned {
+		bound := "inf"
+		if tc.MaxBytes < 1<<40 {
+			bound = stats.SizeLabel(tc.MaxBytes)
+		}
+		fmt.Fprintf(&b, "%-14s %14s %14s\n", tc.Op, bound, tc.Algo)
+	}
+	res.Text = b.String()
+	return res, nil
+}
+
+// autotunedTable runs the MPI_Init autotuner on a topology and returns
+// rank 0's installed crossover table.
+func autotunedTable(topo cluster.Topology) ([]mpi.TuneChoice, error) {
+	topo.Autotune = true
+	sess, err := cluster.Build(topo)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Run(func(rank int, comm *mpi.Comm) error { return nil }); err != nil {
+		return nil, err
+	}
+	return sess.Ranks[0].MPI.TuneSnapshot(), nil
+}
+
+// hierTopoCapped is hierTopo with the backbone's aggregate-bandwidth
+// arbiter on: the wan models one shared trunk at the TCP rate, so
+// concurrent crossings queue instead of riding private per-pair pipes.
+func hierTopoCapped() cluster.Topology {
+	topo := hierTopo()
+	wan := netsim.FastEthernetTCP()
+	wan.NetworkBandwidth = wan.Bandwidth
+	for i := range topo.Networks {
+		if topo.Networks[i].Name == "wan" {
+			topo.Networks[i].Params = &wan
+		}
+	}
+	return topo
 }
 
 // hierTopo is the X4 benchmark topology: two SCI islands, interleaved

@@ -300,6 +300,120 @@ func (c *Comm) compileAlltoallFlat(sendBuf, recvBuf []byte, count int, dt Dataty
 	})
 }
 
+// ---- Bandwidth-optimal ring compilers ----
+//
+// The binomial trees above move the full vector O(log n) times per rank;
+// the ring algorithms move 2·(n−1)/n of it, at the price of O(n) latency
+// rounds — the classic large-vector tradeoff (MPICH's ring allreduce,
+// Rabenseifner's reduce-scatter + allgather). Both phases are written as
+// round helpers over an explicit member list so the two-level compilers in
+// hcoll.go can run the same rings inside a cluster.
+
+// splitBounds partitions count elements into m contiguous near-equal
+// blocks: block i spans elements [bounds[i], bounds[i+1]).
+func splitBounds(count, m int) []int {
+	bounds := make([]int, m+1)
+	for i := 0; i <= m; i++ {
+		bounds[i] = i * count / m
+	}
+	return bounds
+}
+
+// ringRSRounds appends the ring reduce-scatter over members: m−1 rounds,
+// each forwarding one partially reduced block to the right neighbor while
+// folding the block arriving from the left into acc (the packed full
+// vector, pre-loaded with this rank's contribution). Afterwards acc's
+// block myPos holds the complete reduction over all members. The block
+// indexing is shifted so each member finishes owning its *own* position's
+// block, which is what ReduceScatter semantics need. Requires a
+// commutative op (all predefined ops are).
+func (c *Comm) ringRSRounds(b *schedBuilder, members []int, myPos int, acc []byte, bounds []int, dt Datatype, op Op) {
+	m := len(members)
+	if m < 2 {
+		return
+	}
+	es := dt.Size()
+	right := members[(myPos+1)%m]
+	left := members[(myPos-1+m)%m]
+	blk := func(i int) []byte { return acc[bounds[i]*es : bounds[i+1]*es] }
+	for s := 0; s < m-1; s++ {
+		sendIdx := (myPos - s - 1 + 2*m) % m
+		recvIdx := (myPos - s - 2 + 2*m) % m
+		part := make([]byte, len(blk(recvIdx)))
+		b.recv(left, part)
+		b.send(right, blk(sendIdx))
+		b.reduce(blk(recvIdx), part, bounds[recvIdx+1]-bounds[recvIdx], dt, op)
+		b.endRound()
+	}
+}
+
+// ringAGRounds appends the ring allgather over members: m−1 rounds
+// circulating the completed blocks, starting from each member owning block
+// myPos (the ring reduce-scatter postcondition). Receives land directly in
+// data's block slots.
+func (c *Comm) ringAGRounds(b *schedBuilder, members []int, myPos int, data []byte, bounds []int, es int) {
+	m := len(members)
+	if m < 2 {
+		return
+	}
+	right := members[(myPos+1)%m]
+	left := members[(myPos-1+m)%m]
+	blk := func(i int) []byte { return data[bounds[i]*es : bounds[i+1]*es] }
+	for s := 0; s < m-1; s++ {
+		sendIdx := (myPos - s + m) % m
+		recvIdx := (myPos - s - 1 + 2*m) % m
+		b.recv(left, blk(recvIdx))
+		b.send(right, blk(sendIdx))
+		b.endRound()
+	}
+}
+
+// compileAllreduceRing is the flat bandwidth-optimal ring allreduce: ring
+// reduce-scatter then ring allgather, 2·(n−1) latency rounds but only
+// 2·(n−1)/n of the vector on each link.
+func (c *Comm) compileAllreduceRing(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) *schedule {
+	n := c.Size()
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	acc := make([]byte, count*dt.Size())
+	bounds := splitBounds(count, n)
+	b := newSched("allreduce.ring")
+	b.copyStep(acc, PackBuf(sendBuf, count, dt))
+	b.endRound()
+	c.ringRSRounds(b, members, c.myRank, acc, bounds, dt, op)
+	c.ringAGRounds(b, members, c.myRank, acc, bounds, dt.Size())
+	return b.build(func() {
+		c.p.M.Compute(c.p.memTime(len(acc)))
+		UnpackBuf(recvBuf, count, dt, acc)
+	})
+}
+
+// compileReduceScatterRing is the flat ring reduce-scatter: after n−1
+// rounds each rank owns its fully reduced block, with (n−1)/n of the
+// vector moved per link — no root bottleneck, no full-vector broadcast.
+func (c *Comm) compileReduceScatterRing(sendBuf, recvBuf []byte, countPerRank int, dt Datatype, op Op) *schedule {
+	n := c.Size()
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	total := countPerRank * n
+	es := dt.Size()
+	acc := make([]byte, total*es)
+	bounds := splitBounds(total, n) // equal blocks: bounds[i] = i*countPerRank
+	b := newSched("redscat.ring")
+	b.copyStep(acc, PackBuf(sendBuf, total, dt))
+	b.endRound()
+	c.ringRSRounds(b, members, c.myRank, acc, bounds, dt, op)
+	mine := acc[bounds[c.myRank]*es : bounds[c.myRank+1]*es]
+	return b.build(func() {
+		c.p.M.Compute(c.p.memTime(len(mine)))
+		UnpackBuf(recvBuf, countPerRank, dt, mine)
+	})
+}
+
 // ---- Remaining direct (non-scheduled) collectives ----
 
 // Gatherv is the variable-count gather (MPI_Gatherv). displs are element

@@ -43,6 +43,12 @@ type Process struct {
 	hier     *Hierarchy
 	collMode CollMode
 
+	// tuned is the measured crossover table installed by Autotune (nil:
+	// analytic fallback); forcedAlgo is the autotuner's candidate hook,
+	// overriding every other selection while a timed run is in flight.
+	tuned      *tuneTable
+	forcedAlgo *collAlgo
+
 	memcpyBW  float64
 	finalized bool
 }
@@ -110,6 +116,12 @@ type Comm struct {
 	// ct caches the communicator's dense hierarchy view (topology.go),
 	// computed on first collective dispatch.
 	ct *commTopo
+
+	// tt caches the process's autotuned table as resolved by this
+	// communicator's first collective (tuning.go); ttSet distinguishes
+	// "resolved to nil" from "not yet resolved".
+	tt    *tuneTable
+	ttSet bool
 
 	// eng is the communicator's collective progress engine (nbc.go),
 	// created on the first scheduled collective.

@@ -18,12 +18,40 @@
 //
 // Algorithm selection happens once, at compile time, through the tuning
 // table in topology.go (operation kind × payload size × cluster shape →
-// flat, two-level, or two-level segmented). The flat compilers live in
-// collectives.go, the two-level ones in hcoll.go; each algorithm has
-// exactly one body, shared by the blocking and nonblocking entry points.
-// Adding an algorithm (ring allreduce, autotuned variants, ...) means
-// adding a compiler and a tuning-table row — the executor, request
-// handling and progress rules are untouched.
+// flat, two-level, two-level segmented, ring, or two-level ring). The
+// flat compilers live in collectives.go, the two-level ones in hcoll.go;
+// each algorithm has exactly one body, shared by the blocking and
+// nonblocking entry points. Adding an algorithm means adding a compiler
+// and a tuning-table row — the executor, request handling and progress
+// rules are untouched.
+//
+// # Ring schedules
+//
+// Allreduce and ReduceScatter additionally compile to bandwidth-optimal
+// ring schedules (ring reduce-scatter, optionally followed by a ring
+// allgather): 2·(n−1) latency rounds, but only 2·(n−1)/n of the vector
+// per link instead of the binomial tree's 2·log(n) full copies — the
+// large-vector winner on any uniform fabric. On a cluster-of-clusters the
+// flat ring is the *worst* choice (with interleaved placement every hop
+// crosses the slow backbone), so the two-level ring forms run the rings
+// inside each cluster around the same single leader exchange the tree
+// forms use. Ring reductions apply op in member order around the ring and
+// therefore assume a commutative op (all predefined ops are).
+//
+// # The MPI_Init autotuner
+//
+// Process.Autotune (or cluster.Topology.Autotune) replaces the analytic
+// selection thresholds with measured ones: at init, every candidate
+// algorithm of every tunable operation is compiled and executed on the
+// live topology over a small payload sweep — so the timings include rank
+// placement, elected switch points and, when netsim models it, backbone
+// trunk contention (netsim.Params.NetworkBandwidth). Rank 0 picks the
+// fastest candidate per size, places crossovers at geometric midpoints,
+// and broadcasts the (operation → size bracket → algorithm) table; every
+// rank installs identical bytes, so CollAuto dispatch stays agreed
+// everywhere. The sweep is deterministic in the topology (virtual time
+// has no noise). Communicators resolve the table once, at their first
+// collective; Process.TuneSnapshot exports it for reports.
 //
 // # The Icoll API
 //

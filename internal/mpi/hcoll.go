@@ -233,17 +233,8 @@ func (c *Comm) compileAllgatherHier(sendBuf, recvBuf []byte, count int, dt Datat
 	sz := count * dt.Size()
 	ex := dt.Extent()
 
-	members := ct.clusters[ct.myCluster]
+	members, myPos, leaderPos := c.clusterPos()
 	leader := ct.leaders[ct.myCluster]
-	myPos, leaderPos := 0, 0
-	for i, m := range members {
-		if m == c.myRank {
-			myPos = i
-		}
-		if m == leader {
-			leaderPos = i
-		}
-	}
 	mine := PackBuf(sendBuf, count, dt)
 	full := make([]byte, n*sz) // packed world vector, comm-rank order
 	b := newSched("allgather.h")
@@ -304,6 +295,218 @@ func (c *Comm) compileAllgatherHier(sendBuf, recvBuf []byte, count int, dt Datat
 		for r := 0; r < n; r++ {
 			UnpackBuf(recvBuf[r*count*ex:], count, dt, full[r*sz:(r+1)*sz])
 		}
+	})
+}
+
+// ---- Two-level ring compilers ----
+//
+// The bandwidth-optimal rings from collectives.go run *inside* each
+// cluster, where every hop rides the fast fabric; the slow backbone still
+// carries exactly one leader-level exchange. A flat ring on a
+// cluster-of-clusters would be the worst of both worlds: with interleaved
+// rank placement every ring hop crosses the backbone, so the ring's 2(n−1)
+// rounds each pay the slow link.
+
+// clusterPos returns the member list of this rank's cluster plus the
+// positions of this rank and the cluster leader within it.
+func (c *Comm) clusterPos() (members []int, myPos, leaderPos int) {
+	ct := c.topo()
+	members = ct.clusters[ct.myCluster]
+	leader := ct.leaders[ct.myCluster]
+	for i, m := range members {
+		if m == c.myRank {
+			myPos = i
+		}
+		if m == leader {
+			leaderPos = i
+		}
+	}
+	return members, myPos, leaderPos
+}
+
+// compileAllreduceRingHier is the two-level ring allreduce: intra-cluster
+// ring reduce-scatter, chunk gather to the cluster leader, a single
+// binomial leader exchange over the backbone (reduce to cluster 0's
+// leader, result broadcast back to the leaders), then a chunk scatter and
+// intra-cluster ring allgather. Each fast link carries ~2·(m−1)/m of the
+// vector instead of the binomial phases' log(m) full copies; the backbone
+// still sees one vector per cluster per direction.
+func (c *Comm) compileAllreduceRingHier(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) *schedule {
+	ct := c.topo()
+	members, myPos, _ := c.clusterPos()
+	m := len(members)
+	leader := ct.leaders[ct.myCluster]
+	es := dt.Size()
+	acc := make([]byte, count*es)
+	bounds := splitBounds(count, m)
+	chunk := func(i int) []byte { return acc[bounds[i]*es : bounds[i+1]*es] }
+
+	b := newSched("allreduce.ringh")
+	b.copyStep(acc, PackBuf(sendBuf, count, dt))
+	b.endRound()
+
+	// Phase A: intra-cluster ring reduce-scatter — member at position i
+	// ends up holding the cluster-reduced chunk i.
+	c.ringRSRounds(b, members, myPos, acc, bounds, dt, op)
+
+	// Phase B: chunks converge on the leader, which reassembles the
+	// cluster-reduced full vector in acc.
+	if c.myRank != leader {
+		b.send(leader, chunk(myPos))
+		b.endRound()
+	} else {
+		for i, mr := range members {
+			if mr == c.myRank {
+				continue
+			}
+			b.recv(mr, chunk(i))
+		}
+		b.endRound()
+		// Phase C: the single backbone exchange — binomial reduce over the
+		// cluster leaders to cluster 0's leader, result broadcast back down
+		// the same leader tree.
+		parent, children := binomialOver(ct.leaders, 0, ct.myCluster)
+		for i := len(children) - 1; i >= 0; i-- {
+			part := make([]byte, len(acc))
+			b.recv(children[i], part)
+			b.reduce(acc, part, count, dt, op)
+		}
+		b.endRound()
+		if parent >= 0 {
+			b.send(parent, acc)
+			b.endRound()
+			b.recv(parent, acc)
+			b.endRound()
+		}
+		for _, ch := range children {
+			b.send(ch, acc)
+		}
+		b.endRound()
+	}
+
+	// Phase D: scatter the result chunks back and circulate them with the
+	// intra-cluster ring allgather.
+	if c.myRank == leader {
+		for i, mr := range members {
+			if mr == c.myRank {
+				continue
+			}
+			b.send(mr, chunk(i))
+		}
+		b.endRound()
+	} else {
+		b.recv(leader, chunk(myPos))
+		b.endRound()
+	}
+	c.ringAGRounds(b, members, myPos, acc, bounds, es)
+	return b.build(func() {
+		c.p.M.Compute(c.p.memTime(len(acc)))
+		UnpackBuf(recvBuf, count, dt, acc)
+	})
+}
+
+// compileReduceScatterRingHier is the two-level ring reduce-scatter:
+// intra-cluster ring reduce-scatter of the full vector (in m near-equal
+// chunks), chunk gather to the leader, then a leader pairwise bundle
+// exchange in which cluster X ships cluster Y exactly the blocks Y's
+// members will keep — |Y|·blockSize bytes per directed leader pair instead
+// of the full vector — and finally each leader scatters the globally
+// reduced block to its member. Bundle layout from X to Y: Y's members'
+// blocks in ascending member order.
+func (c *Comm) compileReduceScatterRingHier(sendBuf, recvBuf []byte, countPerRank int, dt Datatype, op Op) *schedule {
+	ct := c.topo()
+	n := c.Size()
+	members, myPos, _ := c.clusterPos()
+	m := len(members)
+	leader := ct.leaders[ct.myCluster]
+	es := dt.Size()
+	sz := countPerRank * es
+	total := countPerRank * n
+	acc := make([]byte, total*es)
+	bounds := splitBounds(total, m)
+	chunk := func(i int) []byte { return acc[bounds[i]*es : bounds[i+1]*es] }
+	block := func(r int) []byte { return acc[r*sz : (r+1)*sz] }
+
+	b := newSched("redscat.ringh")
+	b.copyStep(acc, PackBuf(sendBuf, total, dt))
+	b.endRound()
+
+	// Phase A: intra-cluster ring reduce-scatter over m chunks.
+	c.ringRSRounds(b, members, myPos, acc, bounds, dt, op)
+
+	if c.myRank != leader {
+		// Phase B: my cluster-reduced chunk to the leader; Phase D: my
+		// globally reduced block comes back.
+		b.send(leader, chunk(myPos))
+		b.endRound()
+		b.recv(leader, block(c.myRank))
+		b.endRound()
+		return b.build(func() {
+			c.p.M.Compute(c.p.memTime(sz))
+			UnpackBuf(recvBuf, countPerRank, dt, block(c.myRank))
+		})
+	}
+
+	// Leader: reassemble the cluster-reduced full vector.
+	for i, mr := range members {
+		if mr == c.myRank {
+			continue
+		}
+		b.recv(mr, chunk(i))
+	}
+	b.endRound()
+
+	// Phase C: stage one outbound bundle per remote cluster (that
+	// cluster's members' blocks), then exchange among leaders with the
+	// receives pre-posted, folding each arriving bundle into my members'
+	// blocks.
+	out := make([][]byte, ct.nClusters)
+	in := make([][]byte, ct.nClusters)
+	for di := 0; di < ct.nClusters; di++ {
+		if di == ct.myCluster {
+			continue
+		}
+		dm := ct.clusters[di]
+		out[di] = make([]byte, len(dm)*sz)
+		for j, dr := range dm {
+			b.copyStep(out[di][j*sz:(j+1)*sz], block(dr))
+		}
+	}
+	b.endRound()
+	for di := 0; di < ct.nClusters; di++ {
+		if di == ct.myCluster {
+			continue
+		}
+		in[di] = make([]byte, len(members)*sz)
+		b.recv(ct.leaders[di], in[di])
+	}
+	for di := 0; di < ct.nClusters; di++ {
+		if di == ct.myCluster {
+			continue
+		}
+		b.send(ct.leaders[di], out[di])
+	}
+	for di := 0; di < ct.nClusters; di++ {
+		if di == ct.myCluster {
+			continue
+		}
+		for j, mr := range members {
+			b.reduce(block(mr), in[di][j*sz:(j+1)*sz], countPerRank, dt, op)
+		}
+	}
+	b.endRound()
+
+	// Phase D: ship each member its globally reduced block.
+	for _, mr := range members {
+		if mr == c.myRank {
+			continue
+		}
+		b.send(mr, block(mr))
+	}
+	b.endRound()
+	return b.build(func() {
+		c.p.M.Compute(c.p.memTime(sz))
+		UnpackBuf(recvBuf, countPerRank, dt, block(c.myRank))
 	})
 }
 

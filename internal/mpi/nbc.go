@@ -193,10 +193,36 @@ func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op
 		return nil, err
 	}
 	return c.startColl("Iallreduce", false, noRoot, func() *schedule {
-		if c.chooseAlgo(kindAllreduce, count*dt.Size()) != algoFlat {
+		switch c.chooseAlgo(kindAllreduce, count*dt.Size()) {
+		case algoHier:
 			return c.compileAllreduceHier(sendBuf, recvBuf, count, dt, op)
+		case algoRing:
+			return c.compileAllreduceRing(sendBuf, recvBuf, count, dt, op)
+		case algoRingHier:
+			return c.compileAllreduceRingHier(sendBuf, recvBuf, count, dt, op)
 		}
 		return c.compileAllreduceFlat(sendBuf, recvBuf, count, dt, op)
+	})
+}
+
+// IreduceScatter starts a nonblocking reduce-scatter with equal counts
+// (MPI_Ireduce_scatter_block): the count-per-rank blocks of every member's
+// sendBuf are combined with op and block r lands in rank r's recvBuf. Ring
+// schedules throughout — the flat bandwidth-optimal ring, or the two-level
+// variant (intra-cluster ring + leader bundle exchange) on multi-cluster
+// topologies.
+func (c *Comm) IreduceScatter(sendBuf, recvBuf []byte, countPerRank int, dt Datatype, op Op) (*CollRequest, error) {
+	if err := c.checkBuf("IreduceScatter", "send", sendBuf, c.Size()*countPerRank, dt); err != nil {
+		return nil, err
+	}
+	if err := c.checkBuf("IreduceScatter", "recv", recvBuf, countPerRank, dt); err != nil {
+		return nil, err
+	}
+	return c.startColl("IreduceScatter", false, noRoot, func() *schedule {
+		if c.chooseAlgo(kindReduceScatter, c.Size()*countPerRank*dt.Size()) == algoRingHier {
+			return c.compileReduceScatterRingHier(sendBuf, recvBuf, countPerRank, dt, op)
+		}
+		return c.compileReduceScatterRing(sendBuf, recvBuf, countPerRank, dt, op)
 	})
 }
 

@@ -37,6 +37,12 @@ type Link struct {
 	// SegmentBytes is the recommended pipeline segment size for
 	// store-and-forward stages over this link (netsim.Params.PipelineSegment).
 	SegmentBytes int
+	// SharedMBs is the link's aggregate trunk capacity in paper MB/s when
+	// the network models shared-bandwidth contention
+	// (netsim.Params.NetworkBandwidth); 0 means private per-pair pipes.
+	// A capped backbone makes every extra crossing queue, which moves the
+	// flat-vs-two-level crossover sharply toward two-level.
+	SharedMBs float64
 }
 
 // Hierarchy is the per-job cluster structure, indexed by world rank. It is
@@ -69,13 +75,24 @@ func (p *Process) Hierarchy() *Hierarchy { return p.hier }
 type CollMode int
 
 const (
-	// CollAuto consults the tuning table (the default).
+	// CollAuto consults the tuning table (the default): the autotuned
+	// crossover table when MPI_Init ran the sweep, the analytic defaults
+	// otherwise.
 	CollAuto CollMode = iota
-	// CollFlat forces the topology-blind algorithms.
+	// CollFlat forces the topology-blind binomial-tree algorithms.
 	CollFlat
-	// CollHier forces the two-level algorithms whenever the communicator
-	// spans more than one cluster.
+	// CollHier forces the two-level tree algorithms whenever the
+	// communicator spans more than one cluster.
 	CollHier
+	// CollRing forces the flat bandwidth-optimal ring algorithms where an
+	// operation has one (Allreduce, ReduceScatter); other operations fall
+	// back to the flat trees.
+	CollRing
+	// CollHierRing forces the two-level ring algorithms (intra-cluster
+	// ring phases around the single leader exchange) on multi-cluster
+	// communicators; operations without a ring form use the two-level
+	// trees.
+	CollHierRing
 )
 
 // SetCollMode overrides collective algorithm selection for this rank.
@@ -137,7 +154,18 @@ const (
 	algoFlat collAlgo = iota
 	algoHier
 	algoHierSegmented // two-level with pipelined segments (Bcast only)
+	algoRing          // flat bandwidth-optimal ring (Allreduce, ReduceScatter)
+	algoRingHier      // two-level: intra-cluster rings around the leader exchange
 )
+
+// algoNames maps tuning-table rows to stable names for snapshots/reports.
+var algoNames = map[collAlgo]string{
+	algoFlat:          "flat",
+	algoHier:          "2level",
+	algoHierSegmented: "2level-seg",
+	algoRing:          "ring",
+	algoRingHier:      "2level-ring",
+}
 
 // collKind indexes the tuning table by operation.
 type collKind int
@@ -150,7 +178,21 @@ const (
 	kindGather
 	kindAllgather
 	kindAlltoall
+	kindReduceScatter
+	numCollKinds
 )
+
+// kindNames mirrors the MPI operation names for snapshots/reports.
+var kindNames = map[collKind]string{
+	kindBarrier:       "Barrier",
+	kindBcast:         "Bcast",
+	kindReduce:        "Reduce",
+	kindAllreduce:     "Allreduce",
+	kindGather:        "Gather",
+	kindAllgather:     "Allgather",
+	kindAlltoall:      "Alltoall",
+	kindReduceScatter: "ReduceScatter",
+}
 
 // defaultSegmentBytes bounds the pipelined-broadcast segment when the
 // hierarchy carries no backbone estimate.
@@ -179,29 +221,114 @@ func (c *Comm) bcastSegment(total int) int {
 	return 0
 }
 
+// ringKind reports whether an operation has a ring compiler.
+func ringKind(kind collKind) bool {
+	return kind == kindAllreduce || kind == kindReduceScatter
+}
+
+// sanitizeAlgo degrades an algorithm choice to one this communicator and
+// operation can actually run: hier families need a multi-cluster shape,
+// ring families need a ring compiler, segmentation is Bcast-only. Keeps
+// forced modes and stale tuning tables safe on any communicator (e.g. a
+// Split sub-communicator confined to one island).
+func (c *Comm) sanitizeAlgo(kind collKind, a collAlgo) collAlgo {
+	ct := c.topo()
+	multi := ct != nil && ct.nClusters >= 2
+	if a == algoHierSegmented && kind != kindBcast {
+		a = algoHier
+	}
+	if a == algoRingHier {
+		switch {
+		case !ringKind(kind) && multi:
+			a = algoHier
+		case !ringKind(kind):
+			a = algoFlat
+		case !multi:
+			a = algoRing
+		}
+	}
+	if a == algoRing && !ringKind(kind) {
+		a = algoFlat
+	}
+	if (a == algoHier || a == algoHierSegmented) && !multi {
+		a = algoFlat
+	}
+	// ReduceScatter only has ring compilers: tree-family choices map to
+	// the ring of the same level, so CollHier still gets the
+	// hierarchy-aware form and CollFlat the topology-blind one.
+	if kind == kindReduceScatter {
+		switch a {
+		case algoHier, algoHierSegmented:
+			a = algoRingHier
+		case algoFlat:
+			a = algoRing
+		}
+	}
+	return a
+}
+
 // chooseAlgo is the tuning-table lookup: operation kind and message size
 // (total payload bytes) to algorithm, given the communicator's shape.
-// Mirrors MPICH's coll_tuned decision functions: thresholds first, with
-// the flat algorithms as the universal fallback.
+// Mirrors MPICH's coll_tuned decision functions. Precedence: the
+// autotuner's force hook (one timed candidate), the explicit CollMode
+// override, the measured crossover table installed by Autotune at
+// MPI_Init, then the analytic fallback thresholds — every result passes
+// through sanitizeAlgo so it is runnable on this communicator.
 func (c *Comm) chooseAlgo(kind collKind, nBytes int) collAlgo {
-	ct := c.topo()
-	if ct == nil || ct.nClusters < 2 {
-		return algoFlat // single cluster: the flat tree already runs on the fast fabric
+	if f := c.p.forcedAlgo; f != nil {
+		return c.sanitizeAlgo(kind, *f)
 	}
 	switch c.p.collMode {
 	case CollFlat:
-		return algoFlat
+		return c.sanitizeAlgo(kind, algoFlat)
 	case CollHier:
 		if kind == kindBcast && c.bcastSegment(nBytes) > 0 {
-			return algoHierSegmented
+			return c.sanitizeAlgo(kind, algoHierSegmented)
 		}
-		return algoHier
+		return c.sanitizeAlgo(kind, algoHier)
+	case CollRing:
+		return c.sanitizeAlgo(kind, algoRing)
+	case CollHierRing:
+		return c.sanitizeAlgo(kind, algoRingHier)
 	}
+	if tt := c.tuneTable(); tt != nil {
+		if a, ok := tt.lookup(kind, nBytes); ok {
+			return c.sanitizeAlgo(kind, a)
+		}
+	}
+	return c.sanitizeAlgo(kind, c.analyticAlgo(kind, nBytes))
+}
+
+// analyticAlgo is the fallback decision table used when no autotuned
+// crossover table is installed. The caller sanitizes the result.
+func (c *Comm) analyticAlgo(kind collKind, nBytes int) collAlgo {
+	ct := c.topo()
+	if ct == nil || ct.nClusters < 2 {
+		if ringKind(kind) && nBytes >= 64<<10 {
+			// Large vectors: the ring's 2(n−1)/n bandwidth factor beats
+			// the tree's 2·log(n) even on a uniform fast fabric.
+			return algoRing
+		}
+		return algoFlat // single cluster: the flat tree already runs on the fast fabric
+	}
+	// capped: the backbone models shared-trunk contention, so every extra
+	// crossing queues — concurrency can no longer hide flat algorithms'
+	// O(n) crossings.
+	capped := c.p.hier != nil && c.p.hier.Inter.SharedMBs > 0
 	switch kind {
-	case kindBarrier, kindReduce, kindAllreduce, kindAllgather:
+	case kindBarrier, kindReduce, kindAllgather:
 		// Leader aggregation always reduces slow-link crossings; the
 		// extra intra-cluster hop is cheap by construction.
 		return algoHier
+	case kindAllreduce:
+		if nBytes >= 64<<10 {
+			// Large vectors: intra-cluster ring phases around the same
+			// single leader exchange.
+			return algoRingHier
+		}
+		return algoHier
+	case kindReduceScatter:
+		return algoRingHier
 	case kindBcast:
 		if c.bcastSegment(nBytes) > 0 {
 			// Large: pipeline segments through the two-level tree so the
@@ -219,13 +346,21 @@ func (c *Comm) chooseAlgo(kind collKind, nBytes int) collAlgo {
 		return algoHier
 	case kindAlltoall:
 		// nBytes is the full per-rank matrix. Leader bundling always wins
-		// on backbone crossings (O(clusters) vs O(n^2)), but netsim gives
-		// each directed pair its own pipe — the flat rotation's many
-		// crossings stream in parallel while the bundles serialize on the
-		// single leader-pair pipe — so on time it only pays while message
-		// setup latency dominates. A per-network bandwidth cap (ROADMAP)
-		// would move this crossover well up.
-		if nBytes > 2<<10 {
+		// on backbone crossings (O(clusters) vs O(n^2)) and on per-message
+		// setups, but unlike Bcast/Allreduce it cannot reduce backbone
+		// *bytes*: every (src, dst) block is unique, so the bundles carry
+		// exactly the same payload the flat rotation does. Past the
+		// setup-dominated regime both algorithms hit the same trunk
+		// serialization floor and the flat rotation wins by skipping the
+		// leader staging. A capped trunk stretches the setup-dominated
+		// regime a little (queued crossings amplify the 32-vs-2 message
+		// count); the Autotune sweep measures the real crossover on the
+		// live topology either way.
+		limit := 2 << 10
+		if capped {
+			limit = 4 << 10
+		}
+		if nBytes > limit {
 			return algoFlat
 		}
 		return algoHier

@@ -1,0 +1,288 @@
+// The MPI_Init autotuner: instead of trusting the analytic thresholds in
+// topology.go, Autotune *times* the candidate schedule compilers on the
+// live topology — contention arbiter, rank placement, elected switch
+// points and all — over a small message-size sweep, and records the
+// measured crossover points in a per-(operation, algorithm) tuning table
+// (MPICH coll_tuned's measured decision files, run at init instead of
+// offline).
+//
+// Every rank participates in every timed run (the sweep is itself a
+// sequence of collectives, so the usual same-order rule applies), but only
+// rank 0's clock decides: it builds the crossover table and broadcasts it,
+// so all ranks install byte-identical tables and future chooseAlgo calls
+// agree everywhere. The whole sweep is deterministic in the topology —
+// virtual time has no noise — which the determinism test pins down.
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"mpichmad/internal/vtime"
+)
+
+// tuneSizes is the sweep: one size per decade of the latency-, mixed- and
+// bandwidth-dominated regimes. Crossovers between adjacent sweep points
+// are placed at their geometric midpoint.
+var tuneSizes = []int{1 << 10, 16 << 10, 256 << 10}
+
+// tuneRow is one bracket of the measured table: use algo for payloads up
+// to maxBytes (math.MaxInt on the last, open bracket).
+type tuneRow struct {
+	maxBytes int
+	algo     collAlgo
+}
+
+// tuneTable is the measured crossover table, indexed by operation.
+// Operations without an entry (nothing to choose between on this
+// topology) fall back to the analytic defaults.
+type tuneTable struct {
+	rows map[collKind][]tuneRow
+}
+
+// lookup returns the measured algorithm bracket for a payload size.
+func (tt *tuneTable) lookup(kind collKind, nBytes int) (collAlgo, bool) {
+	for _, r := range tt.rows[kind] {
+		if nBytes <= r.maxBytes {
+			return r.algo, true
+		}
+	}
+	return 0, false
+}
+
+// tuneTable resolves the process's autotuned table once per communicator
+// (the per-communicator cache: a communicator created before Autotune ran
+// deliberately keeps its resolved nil and stays on the analytic defaults,
+// so selection never changes mid-stream under an already-used
+// communicator).
+func (c *Comm) tuneTable() *tuneTable {
+	if !c.ttSet {
+		c.tt, c.ttSet = c.p.tuned, true
+	}
+	return c.tt
+}
+
+// TuneChoice is one exported row of the autotuned table (TuneSnapshot).
+type TuneChoice struct {
+	// Op is the MPI operation name ("Allreduce", "Bcast", ...).
+	Op string
+	// MaxBytes is the bracket's upper payload bound; math.MaxInt marks
+	// the open last bracket.
+	MaxBytes int
+	// Algo names the selected algorithm: "flat", "2level", "2level-seg",
+	// "ring", "2level-ring".
+	Algo string
+}
+
+// TuneSnapshot returns the installed crossover table in deterministic
+// (operation, then size) order, nil when Autotune has not run.
+func (p *Process) TuneSnapshot() []TuneChoice {
+	if p.tuned == nil {
+		return nil
+	}
+	var out []TuneChoice
+	for k := collKind(0); k < numCollKinds; k++ {
+		for _, r := range p.tuned.rows[k] {
+			out = append(out, TuneChoice{Op: kindNames[k], MaxBytes: r.maxBytes, Algo: algoNames[r.algo]})
+		}
+	}
+	return out
+}
+
+// Autotune runs the MPI_Init tuning sweep over MPI_COMM_WORLD: every
+// candidate algorithm of every tunable operation is compiled and executed
+// at each sweep size, rank 0 picks the fastest per (operation, size) and
+// broadcasts the resulting crossover table, which chooseAlgo then
+// consults ahead of the analytic defaults. Collective: every rank must
+// call it at the same point (the cluster session's Topology.Autotune flag
+// does so right before the rank main).
+func (p *Process) Autotune() error {
+	return p.World.autotune()
+}
+
+// tuneCandidates lists the algorithms worth timing for an operation on
+// this communicator's shape; fewer than two means there is no choice to
+// measure.
+func (c *Comm) tuneCandidates(kind collKind) []collAlgo {
+	ct := c.topo()
+	multi := ct != nil && ct.nClusters >= 2
+	switch kind {
+	case kindBcast:
+		if multi {
+			return []collAlgo{algoFlat, algoHier, algoHierSegmented}
+		}
+	case kindAllreduce:
+		if multi {
+			return []collAlgo{algoFlat, algoRing, algoHier, algoRingHier}
+		}
+		return []collAlgo{algoFlat, algoRing}
+	case kindAllgather, kindAlltoall:
+		if multi {
+			return []collAlgo{algoFlat, algoHier}
+		}
+	case kindReduceScatter:
+		if multi {
+			return []collAlgo{algoRing, algoRingHier}
+		}
+	}
+	return nil
+}
+
+// runTuneOp executes one probe collective of ~nBytes total payload with
+// whatever algorithm is currently forced.
+func (c *Comm) runTuneOp(kind collKind, nBytes int) error {
+	n := c.Size()
+	per := nBytes / n
+	if per < 1 {
+		per = 1
+	}
+	switch kind {
+	case kindBcast:
+		buf := make([]byte, nBytes)
+		return c.Bcast(buf, nBytes, Byte, 0)
+	case kindAllreduce:
+		in := make([]byte, nBytes)
+		out := make([]byte, nBytes)
+		return c.Allreduce(in, out, nBytes, Byte, OpMax)
+	case kindAllgather:
+		// Iallgather dispatches on the per-rank contribution, so the sweep
+		// size is the per-rank payload here (not divided by n) to keep the
+		// bracket keys aligned with the dispatch metric.
+		in := make([]byte, nBytes)
+		out := make([]byte, nBytes*n)
+		return c.Allgather(in, out, nBytes, Byte)
+	case kindAlltoall:
+		send := make([]byte, per*n)
+		recv := make([]byte, per*n)
+		return c.Alltoall(send, recv, per, Byte)
+	case kindReduceScatter:
+		send := make([]byte, per*n)
+		recv := make([]byte, per)
+		return c.ReduceScatter(send, recv, per, Byte, OpMax)
+	}
+	return fmt.Errorf("mpi: autotune: operation %q is not tunable", kindNames[kind])
+}
+
+// timeAlgo measures one (operation, algorithm, size) probe: barrier in,
+// run, barrier out; the bracketing barriers keep ranks in lockstep so the
+// reading is the collective's full completion time.
+func (c *Comm) timeAlgo(kind collKind, a collAlgo, nBytes int) (vtime.Duration, error) {
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	start := c.p.M.S.Now()
+	c.p.forcedAlgo = &a
+	err := c.runTuneOp(kind, nBytes)
+	c.p.forcedAlgo = nil
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	return c.p.M.S.Now().Sub(start), nil
+}
+
+func (c *Comm) autotune() error {
+	type probe struct {
+		kind       collKind
+		candidates []collAlgo
+	}
+	var probes []probe
+	for k := collKind(0); k < numCollKinds; k++ {
+		if cands := c.tuneCandidates(k); len(cands) >= 2 {
+			probes = append(probes, probe{kind: k, candidates: cands})
+		}
+	}
+
+	// Rank 0 collects winners; every rank runs every probe in the same
+	// order (MPI's collective-ordering rule makes the sweep legal).
+	winners := make(map[collKind][]collAlgo, len(probes))
+	for _, pr := range probes {
+		for _, size := range tuneSizes {
+			best, bestT := pr.candidates[0], vtime.Duration(math.MaxInt64)
+			for _, a := range pr.candidates {
+				t, err := c.timeAlgo(pr.kind, a, size)
+				if err != nil {
+					return fmt.Errorf("mpi: autotune %s/%s at %d B: %w",
+						kindNames[pr.kind], algoNames[a], size, err)
+				}
+				if t < bestT {
+					best, bestT = a, t
+				}
+			}
+			winners[pr.kind] = append(winners[pr.kind], best)
+		}
+	}
+
+	// Rank 0 turns winners into crossover brackets and broadcasts the
+	// encoded table; everyone installs the same bytes.
+	var enc []int64
+	if c.myRank == 0 {
+		tt := &tuneTable{rows: make(map[collKind][]tuneRow)}
+		for _, pr := range probes {
+			tt.rows[pr.kind] = crossoverRows(tuneSizes, winners[pr.kind])
+		}
+		enc = encodeTuneTable(tt)
+	}
+	nRows := make([]byte, 8)
+	if c.myRank == 0 {
+		copy(nRows, Int64Bytes([]int64{int64(len(enc))}))
+	}
+	if err := c.Bcast(nRows, 1, Int64, 0); err != nil {
+		return err
+	}
+	total := int(BytesInt64(nRows)[0])
+	buf := make([]byte, 8*total)
+	if c.myRank == 0 {
+		copy(buf, Int64Bytes(enc))
+	}
+	if total > 0 {
+		if err := c.Bcast(buf, total, Int64, 0); err != nil {
+			return err
+		}
+	}
+	c.p.tuned = decodeTuneTable(BytesInt64(buf))
+	// The sweep's own barriers/broadcasts resolved this communicator's
+	// cache to nil; refresh it so the tuned table governs from the next
+	// collective on.
+	c.tt, c.ttSet = c.p.tuned, true
+	return nil
+}
+
+// crossoverRows compresses per-size winners into brackets, placing each
+// crossover at the geometric midpoint of the adjacent sweep sizes.
+func crossoverRows(sizes []int, winners []collAlgo) []tuneRow {
+	var rows []tuneRow
+	for i, w := range winners {
+		if len(rows) > 0 && rows[len(rows)-1].algo == w {
+			continue
+		}
+		if len(rows) > 0 {
+			rows[len(rows)-1].maxBytes = int(math.Sqrt(float64(sizes[i-1]) * float64(sizes[i])))
+		}
+		rows = append(rows, tuneRow{maxBytes: math.MaxInt, algo: w})
+	}
+	return rows
+}
+
+// encodeTuneTable flattens a table into (kind, maxBytes, algo) triples in
+// deterministic kind order for the install broadcast.
+func encodeTuneTable(tt *tuneTable) []int64 {
+	var enc []int64
+	for k := collKind(0); k < numCollKinds; k++ {
+		for _, r := range tt.rows[k] {
+			enc = append(enc, int64(k), int64(r.maxBytes), int64(r.algo))
+		}
+	}
+	return enc
+}
+
+func decodeTuneTable(enc []int64) *tuneTable {
+	tt := &tuneTable{rows: make(map[collKind][]tuneRow)}
+	for i := 0; i+2 < len(enc); i += 3 {
+		k := collKind(enc[i])
+		tt.rows[k] = append(tt.rows[k], tuneRow{maxBytes: int(enc[i+1]), algo: collAlgo(enc[i+2])})
+	}
+	return tt
+}

@@ -1,0 +1,115 @@
+package mpi_test
+
+// Tests of the MPI_Init autotuner: the timed sweep must be deterministic
+// in the topology, agree across ranks, and actually install a crossover
+// table that chooseAlgo consults.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mpichmad/internal/cluster"
+	"mpichmad/internal/mpi"
+	"mpichmad/internal/netsim"
+)
+
+// autotunedTables builds a topology with Autotune on, runs an empty rank
+// program, and returns every rank's crossover-table snapshot.
+func autotunedTables(t *testing.T, topo cluster.Topology) [][]mpi.TuneChoice {
+	t.Helper()
+	topo.Autotune = true
+	sess, err := cluster.Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(func(rank int, comm *mpi.Comm) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]mpi.TuneChoice, len(sess.Ranks))
+	for i, rk := range sess.Ranks {
+		out[i] = rk.MPI.TuneSnapshot()
+	}
+	return out
+}
+
+// TestAutotuneDeterministic: the same topology always yields the same
+// crossover table — virtual time has no noise, so two sweeps must agree
+// bracket for bracket — and all ranks of one job install identical tables.
+func TestAutotuneDeterministic(t *testing.T) {
+	first := autotunedTables(t, twoClusterTopo(3, 3))
+	second := autotunedTables(t, twoClusterTopo(3, 3))
+	if len(first[0]) == 0 {
+		t.Fatal("autotuner installed an empty table on a multi-cluster topology")
+	}
+	for r := 1; r < len(first); r++ {
+		if !reflect.DeepEqual(first[r], first[0]) {
+			t.Fatalf("rank %d table differs from rank 0:\n%v\nvs\n%v", r, first[r], first[0])
+		}
+	}
+	if !reflect.DeepEqual(first[0], second[0]) {
+		t.Fatalf("same topology produced different tables:\n%v\nvs\n%v", first[0], second[0])
+	}
+}
+
+// TestAutotuneSingleClusterStillTunes: on a uniform fabric the only
+// choice is tree-vs-ring Allreduce; the sweep must still run and produce
+// a table covering it.
+func TestAutotuneSingleClusterStillTunes(t *testing.T) {
+	tables := autotunedTables(t, nNodeTopo(6, "sisci"))
+	found := false
+	for _, c := range tables[0] {
+		if c.Op == "Allreduce" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("single-cluster sweep produced no Allreduce brackets: %v", tables[0])
+	}
+}
+
+// TestAutotunedCollectivesStayCorrect: collectives dispatched through the
+// measured table (CollAuto after Autotune) still compute correct results
+// on a contended-backbone topology — the table changes selection, never
+// semantics.
+func TestAutotunedCollectivesStayCorrect(t *testing.T) {
+	topo := twoClusterTopo(3, 2)
+	// Cap the backbone so the sweep times real trunk contention.
+	wan := netsim.FastEthernetTCP()
+	wan.NetworkBandwidth = wan.Bandwidth
+	for i := range topo.Networks {
+		if topo.Networks[i].Name == "wan" {
+			topo.Networks[i].Params = &wan
+		}
+	}
+	topo.Autotune = true
+	sess, err := cluster.Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, cnt = 5, 1000
+	err = sess.Run(func(rank int, comm *mpi.Comm) error {
+		in := make([]int64, cnt)
+		for i := range in {
+			in[i] = int64(rank*cnt + i)
+		}
+		out := make([]byte, 8*cnt)
+		if err := comm.Allreduce(mpi.Int64Bytes(in), out, cnt, mpi.Int64, mpi.OpSum); err != nil {
+			return err
+		}
+		got := mpi.BytesInt64(out)
+		for i := 0; i < cnt; i++ {
+			want := int64(0)
+			for r := 0; r < n; r++ {
+				want += int64(r*cnt + i)
+			}
+			if got[i] != want {
+				return fmt.Errorf("rank %d: allreduce[%d] = %d, want %d", rank, i, got[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,6 +45,16 @@ type Stats struct {
 	Bytes      uint64
 	Dropped    uint64
 	MaxInlight int
+
+	// TrunkQueueDelay accumulates, over all packets, the time each spent
+	// waiting for the shared trunk behind traffic of *other* pipes (only
+	// meaningful when Params.NetworkBandwidth > 0). Pure contention cost:
+	// a packet's own serialization and its pipe's in-order backlog are not
+	// counted.
+	TrunkQueueDelay vtime.Duration
+	// TrunkPeak is the peak number of packets simultaneously occupying or
+	// waiting for the shared trunk.
+	TrunkPeak int
 }
 
 // Network is one protocol domain (e.g. "the SCI fabric"): a set of
@@ -61,6 +71,16 @@ type Network struct {
 	seq       uint64
 	rng       *rand.Rand
 	Stats     Stats
+
+	// Shared-trunk arbiter state (Params.NetworkBandwidth > 0): the trunk
+	// is a single FIFO resource every packet must reserve, in injection
+	// order, before its pipe serialization can complete. trunkEnds holds
+	// the completion times of packets still in or waiting for the trunk —
+	// monotone, because reservations are FIFO — so occupancy is tracked
+	// by pruning the finished front at Send time instead of scheduling a
+	// per-packet callback.
+	trunkBusyUntil vtime.Time
+	trunkEnds      []vtime.Time
 }
 
 // NewNetwork creates a network with the given cost model.
@@ -167,7 +187,30 @@ func (ep *Endpoint) Send(pkt *Packet) error {
 	if pp.busyUntil > txStart {
 		txStart = pp.busyUntil
 	}
-	txEnd := txStart.Add(n.Params.TxTime(pkt.WireSize()))
+	ser := n.Params.TxTime(pkt.WireSize())
+	if n.Params.NetworkBandwidth > 0 {
+		// Reserve the shared trunk, FIFO in injection order: waiting for
+		// other pipes' traffic to clear is the contention cost the
+		// per-pair model never charged.
+		if n.trunkBusyUntil > txStart {
+			n.Stats.TrunkQueueDelay += vtime.Duration(n.trunkBusyUntil - txStart)
+			txStart = n.trunkBusyUntil
+		}
+		trunkSer := n.Params.TrunkTime(pkt.WireSize())
+		if trunkSer > ser {
+			ser = trunkSer // a trunk slower than the pipes also bounds the packet
+		}
+		trunkEnd := txStart.Add(trunkSer)
+		n.trunkBusyUntil = trunkEnd
+		for len(n.trunkEnds) > 0 && n.trunkEnds[0] <= n.S.Now() {
+			n.trunkEnds = n.trunkEnds[1:]
+		}
+		n.trunkEnds = append(n.trunkEnds, trunkEnd)
+		if len(n.trunkEnds) > n.Stats.TrunkPeak {
+			n.Stats.TrunkPeak = len(n.trunkEnds)
+		}
+	}
+	txEnd := txStart.Add(ser)
 	pp.busyUntil = txEnd
 
 	lat := n.Params.WireLatency

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -97,6 +98,92 @@ func TestDistinctPairsDoNotSerialize(t *testing.T) {
 	// per-pair pipes, which is what Madeleine connections map onto.)
 	if tb != tc {
 		t.Fatalf("tb=%v tc=%v, want equal", tb, tc)
+	}
+}
+
+// TestTrunkContention: with an aggregate-bandwidth cap equal to the
+// per-pair rate, two concurrent transfers on distinct pipes serialize at
+// the shared trunk and take ~2x the solo time, and the contention counters
+// record the queueing.
+func TestTrunkContention(t *testing.T) {
+	run := func(capped bool, pairs int) (last vtime.Time, stats Stats) {
+		s := vtime.New()
+		p := Params{WireLatency: 10 * vtime.Microsecond, Bandwidth: 1e8}
+		if capped {
+			p.NetworkBandwidth = 1e8
+		}
+		n := NewNetwork(s, "net", p)
+		src := n.Attach("src")
+		rx := vtime.NewQueue[*Packet](s, "rx")
+		for i := 0; i < pairs; i++ {
+			dst := n.Attach(fmt.Sprintf("d%d", i))
+			dst.OnDeliver = func(pk *Packet) {
+				if s.Now() > last {
+					last = s.Now()
+				}
+				rx.Push(pk)
+			}
+		}
+		s.Go("sender", func() {
+			for i := 0; i < pairs; i++ {
+				src.Send(&Packet{Dst: fmt.Sprintf("d%d", i), Header: make([]byte, 1000)}) // 10us tx
+			}
+		})
+		s.Go("receiver", func() {
+			for i := 0; i < pairs; i++ {
+				rx.Pop()
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last, n.Stats
+	}
+
+	solo, _ := run(true, 1) // 10us tx + 10us latency
+	if solo != vtime.Time(20*vtime.Microsecond) {
+		t.Fatalf("solo capped transfer finished at %v, want 20us", solo)
+	}
+	dual, stats := run(true, 2) // second packet queues 10us at the trunk
+	if dual != vtime.Time(30*vtime.Microsecond) {
+		t.Fatalf("two capped transfers finished at %v, want 30us (~2x the 10us solo tx)", dual)
+	}
+	if stats.TrunkQueueDelay != 10*vtime.Microsecond {
+		t.Fatalf("TrunkQueueDelay = %v, want 10us", stats.TrunkQueueDelay)
+	}
+	if stats.TrunkPeak != 2 {
+		t.Fatalf("TrunkPeak = %d, want 2", stats.TrunkPeak)
+	}
+	// Uncapped control: the same two transfers ride private pipes.
+	free, fstats := run(false, 2)
+	if free != vtime.Time(20*vtime.Microsecond) {
+		t.Fatalf("uncapped transfers finished at %v, want 20us", free)
+	}
+	if fstats.TrunkQueueDelay != 0 || fstats.TrunkPeak != 0 {
+		t.Fatalf("uncapped network recorded trunk stats: %+v", fstats)
+	}
+}
+
+// TestTrunkSlowerThanPipes: a trunk capacity below the per-pair rate also
+// bounds each packet's serialization time.
+func TestTrunkSlowerThanPipes(t *testing.T) {
+	s := vtime.New()
+	p := Params{WireLatency: 10 * vtime.Microsecond, Bandwidth: 1e8, NetworkBandwidth: 5e7}
+	n := NewNetwork(s, "net", p)
+	a := n.Attach("a")
+	b := n.Attach("b")
+	var arrived vtime.Time
+	rx := vtime.NewQueue[*Packet](s, "rx")
+	b.OnDeliver = func(pk *Packet) { arrived = s.Now(); rx.Push(pk) }
+	s.Go("sender", func() {
+		a.Send(&Packet{Dst: "b", Header: make([]byte, 1000)}) // 20us at 5e7 B/s
+	})
+	s.Go("receiver", func() { rx.Pop() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrived != vtime.Time(30*vtime.Microsecond) {
+		t.Fatalf("arrived at %v, want 30us (20us trunk-rate tx + 10us latency)", arrived)
 	}
 }
 

@@ -25,6 +25,16 @@ type Params struct {
 	WireLatency vtime.Duration
 	// Bandwidth is the sustained wire bandwidth in bytes/second.
 	Bandwidth float64
+	// NetworkBandwidth, when positive, is the network's aggregate capacity
+	// in bytes/second shared by ALL directed pipes: every packet must also
+	// reserve the shared trunk (FIFO, in injection order), so concurrent
+	// transfers on different pipes queue behind each other instead of each
+	// enjoying a private full-rate link. Zero keeps the historical
+	// per-pair-pipe model (infinite aggregate capacity). Setting it to
+	// Bandwidth models a single shared backbone segment — the
+	// cluster-of-clusters inter-cluster link the two-level collectives are
+	// designed around.
+	NetworkBandwidth float64
 	// SendOverhead is the CPU cost to inject one packet (syscall, PIO
 	// setup, DMA descriptor, ...).
 	SendOverhead vtime.Duration
@@ -76,6 +86,15 @@ func (p *Params) TxTime(n int) vtime.Duration {
 		return 0
 	}
 	return vtime.Duration(float64(n) / p.Bandwidth * float64(vtime.Second))
+}
+
+// TrunkTime returns the shared-trunk occupancy time for n payload bytes,
+// zero when no aggregate capacity is configured.
+func (p *Params) TrunkTime(n int) vtime.Duration {
+	if n <= 0 || p.NetworkBandwidth <= 0 {
+		return 0
+	}
+	return vtime.Duration(float64(n) / p.NetworkBandwidth * float64(vtime.Second))
 }
 
 // CopyTime returns the CPU time to memcpy n bytes through the driver's
