@@ -220,20 +220,26 @@ func BenchmarkForwarding(b *testing.B) {
 	}
 }
 
-// BenchmarkHierCollectives regenerates extension X4: flat (topology-blind)
-// versus two-level (hierarchy-aware) collectives on the 2x4-rank
-// cluster-of-clusters topology, and records the full sweep to
-// BENCH_collectives.json for regression tracking.
+// BenchmarkHierCollectives regenerates extension X4 (flat versus
+// two-level versus ring collectives on the 2x4-rank cluster-of-clusters)
+// plus extension X5 (the multi-gateway bridged topology: routed
+// collectives, gateway-aware leaders, pipelined relay), and records both
+// sweeps to BENCH_collectives.json for the regression gate.
 func BenchmarkHierCollectives(b *testing.B) {
-	var res *experiments.Result
+	var res, gw *experiments.Result
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.HierCollectives()
 		if err != nil {
 			b.Fatal(err)
 		}
 		res = r
+		g, err := experiments.GatewayCollectives()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gw = g
 	}
-	for _, s := range res.Series {
+	for _, s := range append(append([]*stats.Series{}, res.Series...), gw.Series...) {
 		if p, ok := s.At(8); ok {
 			b.ReportMetric(p.LatencyUS(), "vus8B:"+sanitize(s.Name))
 		}
@@ -241,12 +247,13 @@ func BenchmarkHierCollectives(b *testing.B) {
 			b.ReportMetric(p.LatencyUS(), "vus64K:"+sanitize(s.Name))
 		}
 	}
-	writeCollectivesJSON(b, res)
+	writeCollectivesJSON(b, res, gw)
 }
 
-// writeCollectivesJSON records the X4 sweep next to the benchmark so the
-// flat-vs-hierarchical numbers are versioned with the code.
-func writeCollectivesJSON(b *testing.B, res *experiments.Result) {
+// writeCollectivesJSON records the X4 and X5 sweeps next to the benchmark
+// so the flat-vs-hierarchical and gateway-routing numbers are versioned
+// with the code.
+func writeCollectivesJSON(b *testing.B, results ...*experiments.Result) {
 	b.Helper()
 	type point struct {
 		SizeBytes int     `json:"size_bytes"`
@@ -261,16 +268,20 @@ func writeCollectivesJSON(b *testing.B, res *experiments.Result) {
 		Topology   string   `json:"topology"`
 		Series     []series `json:"series"`
 	}{
-		Experiment: res.Title,
-		Topology: "2 SCI islands x 4 single-proc nodes, interleaved ranks, TCP backbone" +
-			" (_cap series: backbone trunk capped at the TCP rate via netsim.Params.NetworkBandwidth)",
+		Experiment: "X4 hierarchical collectives + X5 multi-gateway routing",
+		Topology: "X4: 2 SCI islands x 4 single-proc nodes, interleaved ranks, TCP backbone" +
+			" (_cap series: backbone trunk capped at the TCP rate via netsim.Params.NetworkBandwidth);" +
+			" *_gw series (X5): bridged 3-cluster topology, 2 TCP bridges, no common network" +
+			" (GwHops_* point values are gateway-relayed message counts, not microseconds)",
 	}
-	for _, s := range res.Series {
-		sr := series{Name: s.Name}
-		for _, p := range s.Points {
-			sr.Points = append(sr.Points, point{SizeBytes: p.Size, VirtualUS: p.LatencyUS()})
+	for _, res := range results {
+		for _, s := range res.Series {
+			sr := series{Name: s.Name}
+			for _, p := range s.Points {
+				sr.Points = append(sr.Points, point{SizeBytes: p.Size, VirtualUS: p.LatencyUS()})
+			}
+			out.Series = append(out.Series, sr)
 		}
-		out.Series = append(out.Series, sr)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

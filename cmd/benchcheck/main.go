@@ -71,6 +71,17 @@ func main() {
 			"two-level ring Allreduce must beat the flat tree under backbone contention"},
 		{"Allreduce_ring", "Allreduce_flat", 64 << 10,
 			"ring Allreduce must beat the binomial tree for large vectors"},
+		// X5: the multi-gateway bridged topology (cost-model routing).
+		{"Bcast_2level_gw", "Bcast_flat_gw", 64 << 10,
+			"routed two-level Bcast must beat the flat-forwarded tree on the bridged 3-cluster topology"},
+		{"Allreduce_2level_gw", "Allreduce_flat_gw", 64 << 10,
+			"routed two-level Allreduce must beat the flat-forwarded tree on the bridged 3-cluster topology"},
+		{"GwHops_Bcast_2level_gw", "GwHops_Bcast_2level_gwnaive", 64 << 10,
+			"gateway-aware two-level Bcast must cross strictly fewer gateway hops than oblivious leaders"},
+		{"GwHops_Allreduce_2level_gw", "GwHops_Allreduce_2level_gwnaive", 64 << 10,
+			"gateway-aware two-level Allreduce must cross strictly fewer gateway hops than oblivious leaders"},
+		{"Relay_pipelined", "Relay_storefwd", 64 << 10,
+			"pipelined gateway relay must beat store-and-forward for >= 64 KiB payloads"},
 	}
 
 	failed := 0

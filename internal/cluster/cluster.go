@@ -17,7 +17,9 @@ import (
 	"mpichmad/internal/marcel"
 	"mpichmad/internal/mpi"
 	"mpichmad/internal/netsim"
+	"mpichmad/internal/route"
 	"mpichmad/internal/smpplug"
+	"mpichmad/internal/stats"
 	"mpichmad/internal/vtime"
 )
 
@@ -58,6 +60,17 @@ type Topology struct {
 	// virtual init time per rank program.
 	Autotune bool
 
+	// TuneCache, when set alongside Autotune, caches the measured
+	// crossover table across sessions keyed by the topology's shape hash:
+	// the first session pays the init sweep, repeated sessions of the
+	// same shape load the cached table and skip it.
+	TuneCache *TuneCache
+
+	// ObliviousLeaders disables the gateway-aware cluster-leader election
+	// (the two-level collectives fall back to the lowest-rank leaders):
+	// the ablation baseline for the routing subsystem's benchmarks.
+	ObliviousLeaders bool
+
 	// Deadline bounds the session's virtual time (default 1000 s).
 	Deadline vtime.Duration
 }
@@ -84,6 +97,7 @@ type Session struct {
 	netsOfNode map[string][]string // node -> attached network names
 	places     []placementInfo     // rank -> placement
 	hier       *mpi.Hierarchy      // discovered cluster structure
+	plan       *route.Plan         // cost-model routing (ch_mad only)
 	rankErr    []error
 }
 
@@ -220,22 +234,24 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 		sess.nodeOf[r] = pl.node
 	}
 
-	// Inter-node routing: BFS over the proc graph whose edges are shared
-	// networks (preferring higher bandwidth), possibly through gateways
-	// when Forwarding is on.
-	netsOf := func(r int) []string { return nodeNets[places[r].node] }
-	bestShared := func(a, b int) string {
-		best := ""
-		var bw float64 = -1
-		for _, na := range netsOf(a) {
-			for _, nb := range netsOf(b) {
-				if na == nb && sess.Networks[na].Params.Bandwidth > bw {
-					best, bw = na, sess.Networks[na].Params.Bandwidth
-				}
-			}
-		}
-		return best
+	// Inter-node routing: the cost-model routing subsystem plans full
+	// shortest-cost paths over the proc graph whose edges are shared
+	// networks (internal/route); the device gets the first hop plus the
+	// path metadata (hop count, relay pipelining segment). Multi-hop
+	// routes through gateways are installed only when Forwarding is on.
+	g := route.Graph{
+		N:      size,
+		NetsOf: make([][]string, size),
+		Nets:   make(map[string]netsim.Params, len(sess.Networks)),
 	}
+	for r, pl := range places {
+		g.NetsOf[r] = nodeNets[pl.node]
+	}
+	for name, net := range sess.Networks {
+		g.Nets[name] = net.Params
+	}
+	plan := route.Compute(g, route.DefaultRefBytes)
+	sess.plan = plan
 
 	for r := 0; r < size; r++ {
 		w := wirings[r]
@@ -243,23 +259,27 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 			if dst == r || places[dst].node == places[r].node {
 				continue
 			}
-			if netName := bestShared(r, dst); netName != "" {
-				w.rank.ChMad.AddRoute(dst, core.Route{
-					Channel:  w.chanOf[netName],
-					NextNode: places[dst].proc,
-				})
-				continue
-			}
-			if !sess.Topo.Forwarding {
+			hop, netName, ok := plan.NextHop(r, dst)
+			if !ok {
 				continue // unroutable: Send will error
 			}
-			hopRank, netName := sess.firstHop(r, dst, size, netsOf, bestShared)
-			if hopRank < 0 {
-				continue
+			hops := plan.Hops(r, dst)
+			seg := plan.PathSegment(r, dst)
+			if hops > 1 && !sess.Topo.Forwarding {
+				// Gateways required but forwarding is off: fall back to a
+				// direct shared network if one exists (the planner may
+				// have preferred a cheaper relayed path), else unroutable.
+				direct, _, shared := plan.DirectEdge(r, dst)
+				if !shared {
+					continue
+				}
+				hop, netName, hops, seg = dst, direct, 1, 0
 			}
 			w.rank.ChMad.AddRoute(dst, core.Route{
 				Channel:  w.chanOf[netName],
-				NextNode: places[hopRank].proc,
+				NextNode: places[hop].proc,
+				Hops:     hops,
+				SegBytes: seg,
 			})
 		}
 	}
@@ -302,39 +322,30 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 	return nil
 }
 
-// firstHop BFS: find the first hop (and its network) on a shortest path
-// from src to dst across the proc graph.
-func (sess *Session) firstHop(src, dst, size int, netsOf func(int) []string,
-	bestShared func(a, b int) string) (int, string) {
-	prev := make([]int, size)
-	for i := range prev {
-		prev[i] = -2
-	}
-	prev[src] = -1
-	queue := []int{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for next := 0; next < size; next++ {
-			if next == cur || prev[next] != -2 {
-				continue
-			}
-			if bestShared(cur, next) == "" {
-				continue
-			}
-			prev[next] = cur
-			if next == dst {
-				// Walk back to the first hop.
-				hop := dst
-				for prev[hop] != src {
-					hop = prev[hop]
-				}
-				return hop, bestShared(src, hop)
-			}
-			queue = append(queue, next)
+// RoutePlan returns the session's computed routing plan (nil for ch_p4
+// sessions, which have a single flat network).
+func (sess *Session) RoutePlan() *route.Plan { return sess.plan }
+
+// RelayStats reports the gateway load accounting of every rank that
+// relayed traffic this session: messages and body bytes forwarded, drops
+// for lack of an onward route, and the peak store-and-forward queue
+// depth. Ordered by rank.
+func (sess *Session) RelayStats() []stats.RelayStat {
+	var out []stats.RelayStat
+	for _, rk := range sess.Ranks {
+		d := rk.ChMad
+		if d == nil || (d.NForwarded == 0 && d.NRelayDrops == 0) {
+			continue
 		}
+		out = append(out, stats.RelayStat{
+			Name:      fmt.Sprintf("rank%d(%s)", rk.Rank, rk.Node),
+			Msgs:      d.NForwarded,
+			Bytes:     d.RelayBytes,
+			Drops:     d.NRelayDrops,
+			QueuePeak: d.RelayQueuePeak,
+		})
 	}
-	return -1, ""
+	return out
 }
 
 func (sess *Session) buildChP4(places []placementInfo) error {
@@ -377,13 +388,31 @@ func (sess *Session) buildChP4(places []placementInfo) error {
 // automatically.
 func (sess *Session) Run(main func(rank int, comm *mpi.Comm) error) error {
 	sess.rankErr = make([]error, len(sess.Ranks))
+	// Autotuner persistence: a cached crossover table for this topology
+	// shape replaces the init sweep (the sweep is deterministic in the
+	// topology, so the cached measurement is exact, not approximate).
+	var tuneKey string
+	var cachedTune []mpi.TuneChoice
+	if sess.Topo.Autotune && sess.Topo.TuneCache != nil {
+		tuneKey = sess.Topo.ShapeHash()
+		cachedTune, _ = sess.Topo.TuneCache.Lookup(tuneKey)
+	}
 	for _, rk := range sess.Ranks {
 		rk := rk
 		rk.Proc.Spawn("main", func() {
-			if sess.Topo.Autotune {
+			switch {
+			case sess.Topo.Autotune && cachedTune != nil:
+				if err := rk.MPI.LoadTuneTable(cachedTune); err != nil {
+					sess.rankErr[rk.Rank] = fmt.Errorf("rank %d tune cache: %w", rk.Rank, err)
+					return
+				}
+			case sess.Topo.Autotune:
 				if err := rk.MPI.Autotune(); err != nil {
 					sess.rankErr[rk.Rank] = fmt.Errorf("rank %d autotune: %w", rk.Rank, err)
 					return
+				}
+				if rk.Rank == 0 && sess.Topo.TuneCache != nil {
+					sess.Topo.TuneCache.Store(tuneKey, rk.MPI.TuneSnapshot())
 				}
 			}
 			if err := main(rk.Rank, rk.MPI.World); err != nil {

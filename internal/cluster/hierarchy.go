@@ -10,6 +10,7 @@ package cluster
 
 import (
 	"sort"
+	"strings"
 
 	"mpichmad/internal/mpi"
 	"mpichmad/internal/netsim"
@@ -74,8 +75,118 @@ func (sess *Session) discoverHierarchy(maxSegment int) *mpi.Hierarchy {
 			h.Inter = sess.linkFor(best, maxSegment)
 		}
 	}
+	sess.electLeaders(h)
+	sess.routedInter(h, maxSegment)
 	sess.hier = h
 	return h
+}
+
+// electLeaders installs the gateway-aware preferred leader of each
+// cluster: the member whose routed paths to every rank outside the
+// cluster cross the fewest gateways (total hop count), path cost then
+// rank breaking ties. On bridged topologies this puts leaders on the
+// gateway nodes, so leader-level exchanges skip the extra intra-cluster
+// hop the lowest-rank convention would pay. Needs the routing plan
+// (ch_mad sessions); single-cluster jobs and the ObliviousLeaders
+// ablation keep the default lowest-rank leaders.
+func (sess *Session) electLeaders(h *mpi.Hierarchy) {
+	if sess.plan == nil || len(h.ClusterNames) < 2 || sess.Topo.ObliviousLeaders {
+		return
+	}
+	nc := len(h.ClusterNames)
+	members := make([][]int, nc)
+	for r, c := range h.ClusterOf {
+		members[c] = append(members[c], r)
+	}
+	leaders := make([]int, nc)
+	for c, ms := range members {
+		best, bestHops, bestCost := -1, 0, 0.0
+		for _, r := range ms {
+			hops, cost, reach := 0, 0.0, true
+			for s, sc := range h.ClusterOf {
+				if sc == c {
+					continue
+				}
+				hp := sess.plan.Hops(r, s)
+				if hp < 0 {
+					reach = false
+					break
+				}
+				pc, _ := sess.plan.Cost(r, s)
+				hops += hp
+				cost += pc
+			}
+			if !reach {
+				continue
+			}
+			if best < 0 || hops < bestHops ||
+				(hops == bestHops && cost < bestCost) {
+				best, bestHops, bestCost = r, hops, cost
+			}
+		}
+		if best < 0 {
+			best = ms[0] // nothing reachable: keep the default
+		}
+		leaders[c] = best
+	}
+	h.Leaders = leaders
+}
+
+// routedInter recalibrates the backbone link when leader-level exchanges
+// are actually multi-hop (bridged topologies under forwarding): the
+// spanning-network summary understates a path that relays through
+// gateways, which would mislead the analytic tuning thresholds and the
+// broadcast segmentation rule. The link becomes the worst routed
+// leader-pair path: latency summed over the hops, bandwidth and pipeline
+// segment of the bottleneck hop.
+func (sess *Session) routedInter(h *mpi.Hierarchy, maxSegment int) {
+	if sess.plan == nil || h.Leaders == nil || !sess.Topo.Forwarding {
+		return
+	}
+	worst, wa, wb := 0.0, -1, -1
+	for i := 0; i < len(h.Leaders); i++ {
+		for j := i + 1; j < len(h.Leaders); j++ {
+			if sess.plan.Hops(h.Leaders[i], h.Leaders[j]) <= 1 {
+				continue
+			}
+			if c, ok := sess.plan.Cost(h.Leaders[i], h.Leaders[j]); ok && c > worst {
+				worst, wa, wb = c, h.Leaders[i], h.Leaders[j]
+			}
+		}
+	}
+	if wa < 0 {
+		return // every leader pair is direct: the spanning link is honest
+	}
+	hops, _ := sess.plan.Path(wa, wb)
+	var latUS float64
+	var bwMBs, sharedMBs float64
+	seg := 0
+	names := make([]string, 0, len(hops))
+	for _, hop := range hops {
+		p := sess.Networks[hop.Net].Params
+		lat, bw := p.LatencyBandwidth()
+		latUS += lat
+		if bwMBs == 0 || bw < bwMBs {
+			bwMBs = bw
+		}
+		if sh := p.NetworkBandwidth / netsim.MB; sh > 0 && (sharedMBs == 0 || sh < sharedMBs) {
+			sharedMBs = sh
+		}
+		if s := p.PipelineSegment(); seg == 0 || s < seg {
+			seg = s
+		}
+		names = append(names, hop.Net)
+	}
+	if maxSegment > 0 && seg > maxSegment {
+		seg = maxSegment
+	}
+	h.Inter = mpi.Link{
+		Net:          "routed(" + strings.Join(names, "+") + ")",
+		LatencyUS:    latUS,
+		BandwidthMBs: bwMBs,
+		SegmentBytes: seg,
+		SharedMBs:    sharedMBs,
+	}
 }
 
 // spansClusters reports whether a network connects nodes of at least two

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mpichmad/internal/mpi"
+	"mpichmad/internal/vtime"
 )
 
 func bigTopology() Topology {
@@ -139,26 +140,48 @@ func TestDeterministicStress(t *testing.T) {
 	}
 }
 
-// TestMultiHopForwardingChain routes through TWO gateways: the BFS routing
-// and per-hop ch_mad relays must compose transparently.
-func TestMultiHopForwardingChain(t *testing.T) {
-	topo := Topology{
+// chainTopo is a THREE-gateway chain over four networks: a -> g1 -> g2
+// -> g3 -> b. protos lists the per-hop protocols.
+func chainTopo(protos [4]string) Topology {
+	return Topology{
 		Nodes: []NodeSpec{
-			{Name: "a", Procs: 1}, {Name: "g1", Procs: 1},
-			{Name: "g2", Procs: 1}, {Name: "b", Procs: 1},
+			{Name: "a", Procs: 1}, {Name: "g1", Procs: 1}, {Name: "g2", Procs: 1},
+			{Name: "g3", Procs: 1}, {Name: "b", Procs: 1},
 		},
 		Networks: []NetworkSpec{
-			{Name: "sci", Protocol: "sisci", Nodes: []string{"a", "g1"}},
-			{Name: "tcp", Protocol: "tcp", Nodes: []string{"g1", "g2"}},
-			{Name: "myri", Protocol: "bip", Nodes: []string{"g2", "b"}},
+			{Name: "hop0", Protocol: protos[0], Nodes: []string{"a", "g1"}},
+			{Name: "hop1", Protocol: protos[1], Nodes: []string{"g1", "g2"}},
+			{Name: "hop2", Protocol: protos[2], Nodes: []string{"g2", "g3"}},
+			{Name: "hop3", Protocol: protos[3], Nodes: []string{"g3", "b"}},
 		},
 		Forwarding: true,
 	}
-	sess, err := Build(topo)
+}
+
+// heteroChain crosses a different fabric on every hop; homoChain is the
+// balanced chain where pipelining's full overlap shows (no single hop
+// dominates the serialization).
+var (
+	heteroChain = [4]string{"sisci", "tcp", "bip", "sisci"}
+	homoChain   = [4]string{"sisci", "sisci", "sisci", "sisci"}
+)
+
+// chainTransfer sends size bytes end to end over the 3-gateway chain
+// (with a small reply) and returns the end rank's virtual receive time.
+// pipelined=false reverts the gateways to whole-body store-and-forward.
+func chainTransfer(t *testing.T, protos [4]string, size int, pipelined bool) vtime.Duration {
+	t.Helper()
+	sess, err := Build(chainTopo(protos))
 	if err != nil {
 		t.Fatal(err)
 	}
-	const size = 50000 // rendez-vous across the whole chain
+	if !pipelined {
+		for _, rk := range sess.Ranks {
+			rk.ChMad.RelayPipelining = false
+		}
+	}
+	const end = 4
+	var arrived vtime.Duration
 	err = sess.Run(func(rank int, comm *mpi.Comm) error {
 		switch rank {
 		case 0:
@@ -166,27 +189,28 @@ func TestMultiHopForwardingChain(t *testing.T) {
 			for i := range payload {
 				payload[i] = byte(i * 11)
 			}
-			if err := comm.Send(payload, size, mpi.Byte, 3, 5); err != nil {
+			if err := comm.Send(payload, size, mpi.Byte, end, 5); err != nil {
 				return err
 			}
 			// And a reply the other way.
 			buf := make([]byte, 4)
-			_, err := comm.Recv(buf, 4, mpi.Byte, 3, 6)
-			if err != nil {
+			if _, err := comm.Recv(buf, 4, mpi.Byte, end, 6); err != nil {
 				return err
 			}
 			if string(buf) != "pong" {
 				return fmt.Errorf("reply = %q", buf)
 			}
 			return nil
-		case 3:
+		case end:
 			buf := make([]byte, size)
+			start := sess.S.Now()
 			if _, err := comm.Recv(buf, size, mpi.Byte, 0, 5); err != nil {
 				return err
 			}
+			arrived = sess.S.Now().Sub(start)
 			for i := range buf {
 				if buf[i] != byte(i*11) {
-					return fmt.Errorf("byte %d corrupted over 3 networks", i)
+					return fmt.Errorf("byte %d corrupted over 4 networks", i)
 				}
 			}
 			return comm.Send([]byte("pong"), 4, mpi.Byte, 0, 6)
@@ -196,8 +220,46 @@ func TestMultiHopForwardingChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.Ranks[1].ChMad.NForwarded == 0 || sess.Ranks[2].ChMad.NForwarded == 0 {
-		t.Fatalf("both gateways must relay: g1=%d g2=%d",
-			sess.Ranks[1].ChMad.NForwarded, sess.Ranks[2].ChMad.NForwarded)
+	for _, g := range []int{1, 2, 3} {
+		if sess.Ranks[g].ChMad.NForwarded == 0 {
+			t.Fatalf("gateway %d relayed nothing", g)
+		}
+	}
+	return arrived
+}
+
+// TestMultiHopForwardingChain routes through THREE gateways: the
+// cost-model routing and per-hop ch_mad relays must compose
+// transparently, for both relay modes.
+func TestMultiHopForwardingChain(t *testing.T) {
+	chainTransfer(t, heteroChain, 50000, true)
+	chainTransfer(t, heteroChain, 50000, false)
+}
+
+// TestPipelinedRelayBeatsStoreAndForward: segmented relaying must beat
+// whole-body store-and-forward on virtual time for large (>= 64 KiB)
+// rendez-vous payloads — the tentpole's second acceptance criterion.
+// On the heterogeneous chain the win is bounded by the slow TCP hop's
+// serialization (store-and-forward pays every hop in sequence, the
+// pipeline only the bottleneck plus a segment per other hop), so demand
+// strict improvement there and the full overlap factor (>= 2x over 4
+// balanced hops) on the homogeneous chain.
+func TestPipelinedRelayBeatsStoreAndForward(t *testing.T) {
+	for _, size := range []int{64 << 10, 256 << 10} {
+		piped := chainTransfer(t, heteroChain, size, true)
+		stored := chainTransfer(t, heteroChain, size, false)
+		t.Logf("hetero %d KiB: pipelined=%v store-and-forward=%v", size>>10, piped, stored)
+		if piped >= stored {
+			t.Errorf("hetero %d B: pipelined relay (%v) not faster than store-and-forward (%v)",
+				size, piped, stored)
+		}
+		hp := chainTransfer(t, homoChain, size, true)
+		hs := chainTransfer(t, homoChain, size, false)
+		t.Logf("homo   %d KiB: pipelined=%v store-and-forward=%v (%.2fx)",
+			size>>10, hp, hs, float64(hs)/float64(hp))
+		if float64(hs) < 2*float64(hp) {
+			t.Errorf("homo %d B: pipelining win %.2fx, want >= 2x over 4 balanced hops",
+				size, float64(hs)/float64(hp))
+		}
 	}
 }

@@ -16,6 +16,19 @@ import (
 type Route struct {
 	Channel  *madeleine.Channel
 	NextNode string
+
+	// Hops is the full path length to the destination as computed by the
+	// routing subsystem (internal/route): 1 for a direct neighbour, more
+	// when gateways relay. Zero means unknown (treated as direct).
+	Hops int
+
+	// SegBytes is the relay pipelining segment for multi-hop routes: the
+	// bottleneck network's recommended pipeline segment along the path.
+	// Rendez-vous bodies larger than this are shipped as independent
+	// per-segment messages so gateways overlap inbound and outbound
+	// transfers instead of store-and-forwarding the whole body. Zero
+	// disables segmentation.
+	SegBytes int
 }
 
 // Device is the ch_mad MPICH device of one process. It satisfies
@@ -39,6 +52,11 @@ type Device struct {
 	// and all. Only used by the X2 ablation benchmark.
 	MonolithicEager bool
 
+	// RelayPipelining enables the segmented multi-hop rendez-vous path
+	// (on by default). Off, large bodies cross each gateway whole —
+	// the original store-and-forward §6 behaviour (ablation/benchmarks).
+	RelayPipelining bool
+
 	nextReq  uint32
 	nextSync uint32
 	pending  map[uint32]*adi.SendReq // ReqID -> rndv send awaiting OK
@@ -48,6 +66,16 @@ type Device struct {
 
 	// Counters for tests and experiment reports.
 	NEager, NRndv, NForwarded uint64
+	// RelayBytes counts body bytes this device relayed for other ranks;
+	// NRelayDrops counts relayed messages dropped for lack of an onward
+	// route (rendez-vous requests are additionally nacked back to the
+	// sender; other packet types are silently dropped — see relayNoRoute).
+	RelayBytes  uint64
+	NRelayDrops uint64
+	// RelayQueuePeak is the peak number of concurrently outstanding
+	// forward re-emissions — the gateway's store-and-forward queue depth.
+	RelayQueuePeak int
+	relayInFlight  int
 }
 
 // rndvState is the receiver-side rendez-vous bookkeeping: the paper's
@@ -56,6 +84,12 @@ type Device struct {
 type rndvState struct {
 	r   *adi.RecvReq
 	env adi.Envelope
+
+	// remaining tracks outstanding body bytes when the data arrives as
+	// pipelined segments (PktRndvSeg); scratch is the landing area for
+	// truncating receives, allocated on first need.
+	remaining int
+	scratch   []byte
 }
 
 // New creates a ch_mad device for one process. Channels are added with
@@ -63,12 +97,13 @@ type rndvState struct {
 // complete to launch the per-channel polling threads (§4.2.3).
 func New(p *marcel.Proc, eng *adi.Engine, rank int) *Device {
 	return &Device{
-		proc:    p,
-		eng:     eng,
-		rank:    rank,
-		routes:  make(map[int]Route),
-		pending: make(map[uint32]*adi.SendReq),
-		rndvRx:  make(map[uint32]*rndvState),
+		proc:            p,
+		eng:             eng,
+		rank:            rank,
+		RelayPipelining: true,
+		routes:          make(map[int]Route),
+		pending:         make(map[uint32]*adi.SendReq),
+		rndvRx:          make(map[uint32]*rndvState),
 	}
 }
 
@@ -294,6 +329,10 @@ func (d *Device) pollLoop(ch *madeleine.Channel) {
 			d.inSendOK(ch, conn, h)
 		case PktRndv:
 			d.inRndvData(ch, conn, h)
+		case PktRndvSeg:
+			d.inRndvSeg(ch, conn, h)
+		case PktNack:
+			d.inNack(ch, conn, h)
 		default:
 			panic(fmt.Sprintf("ch_mad[%d]: unexpected %s on %s", d.rank, pktName(h.Type), ch.Name))
 		}
@@ -373,7 +412,7 @@ func (d *Device) inRequest(ch *madeleine.Channel, conn *madeleine.Connection, h 
 func (d *Device) replySendOK(req header, r *adi.RecvReq, env adi.Envelope) {
 	d.nextSync++
 	sync := d.nextSync
-	d.rndvRx[sync] = &rndvState{r: r, env: env}
+	d.rndvRx[sync] = &rndvState{r: r, env: env, remaining: env.Len}
 	back, ok := d.routes[req.SrcRank]
 	if !ok {
 		adi.FinishRecv(r, env, fmt.Errorf("ch_mad: no return route to rank %d", req.SrcRank))
@@ -408,6 +447,10 @@ func (d *Device) inSendOK(ch *madeleine.Channel, conn *madeleine.Connection, h h
 	}
 	delete(d.pending, h.ReqID)
 	rt := d.routes[sr.Dst]
+	if d.RelayPipelining && rt.Hops > 1 && rt.SegBytes > 0 && len(sr.Data) > rt.SegBytes {
+		d.sendRndvSegmented(sr, rt, h.SyncID)
+		return
+	}
 	data := header{
 		Type:    PktRndv,
 		SrcRank: sr.Env.Src,
@@ -427,6 +470,50 @@ func (d *Device) inSendOK(ch *madeleine.Channel, conn *madeleine.Connection, h h
 			err = conn2.EndPacking()
 		}
 		sr.Err = err
+		sr.Done.Fire()
+	})
+}
+
+// sendRndvSegmented ships a rendez-vous body over a multi-hop route as a
+// train of independent MAD_RNDVSEG_PKT messages (offset in the header,
+// segment as a zero-copy body). Each gateway relays segments one at a
+// time, so while segment k is re-emitted on the outbound hop, segment
+// k+1 is already serializing on the inbound hop: a 2-hop transfer costs
+// roughly one hop plus one segment instead of two full store-and-forward
+// passes. The per-segment EndPacking paces injection, so the train never
+// overruns the first hop.
+func (d *Device) sendRndvSegmented(sr *adi.SendReq, rt Route, sync uint32) {
+	d.proc.Spawn("ch_mad.rndvseg", func() {
+		total := len(sr.Data)
+		for off := 0; off < total; off += rt.SegBytes {
+			n := rt.SegBytes
+			if off+n > total {
+				n = total - off
+			}
+			seg := header{
+				Type:    PktRndvSeg,
+				SrcRank: sr.Env.Src,
+				DstRank: sr.Dst,
+				Len:     n,
+				SyncID:  sync,
+				Offset:  off,
+			}
+			conn, err := rt.Channel.BeginPacking(rt.NextNode)
+			if err == nil {
+				err = conn.Pack(seg.encode(), madeleine.SendCheaper, madeleine.ReceiveExpress)
+			}
+			if err == nil {
+				err = conn.Pack(sr.Data[off:off+n], madeleine.SendCheaper, madeleine.ReceiveCheaper)
+			}
+			if err == nil {
+				err = conn.EndPacking()
+			}
+			if err != nil {
+				sr.Err = err
+				sr.Done.Fire()
+				return
+			}
+		}
 		sr.Done.Fire()
 	})
 }
@@ -464,15 +551,73 @@ func (d *Device) inRndvData(ch *madeleine.Channel, conn *madeleine.Connection, h
 	adi.FinishRecv(st.r, st.env, lenErr)
 }
 
+// inRndvSeg lands one pipelined segment of a multi-hop rendez-vous body
+// at its offset. Segments of a transfer may interleave with unrelated
+// traffic; the rhandle completes when the last byte lands. Segments land
+// zero-copy in the user buffer unless the receive truncates, in which
+// case they collect in a scratch whose prefix is copied out (charged) at
+// completion, mirroring the whole-body path.
+func (d *Device) inRndvSeg(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
+	st := d.rndvRx[h.SyncID]
+	if st == nil {
+		panic(fmt.Sprintf("ch_mad[%d]: RNDV segment for unknown sync %d", d.rank, h.SyncID))
+	}
+	n, lenErr := adi.CheckLen(st.r, st.env)
+	var landing []byte
+	if lenErr != nil {
+		if st.scratch == nil {
+			st.scratch = make([]byte, st.env.Len)
+		}
+		landing = st.scratch[h.Offset : h.Offset+h.Len]
+	} else {
+		landing = st.r.Buf[h.Offset : h.Offset+h.Len]
+	}
+	if err := conn.Unpack(landing, madeleine.SendCheaper, madeleine.ReceiveCheaper); err != nil {
+		panic(err)
+	}
+	if err := conn.EndUnpacking(); err != nil {
+		panic(err)
+	}
+	d.handling(ch)
+	st.remaining -= h.Len
+	if st.remaining > 0 {
+		return
+	}
+	delete(d.rndvRx, h.SyncID)
+	if lenErr != nil {
+		d.proc.Compute(ch.Params.CopyTime(n))
+		copy(st.r.Buf, st.scratch[:n])
+	}
+	adi.FinishRecv(st.r, st.env, lenErr)
+}
+
+// inNack fails a pending rendez-vous send: a gateway on the path had no
+// onward route for the forwarded request (§6 misconfiguration). The
+// error surfaces on the sender's MPI call instead of crashing the
+// simulation. The nack's Tag field carries the unreachable rank.
+func (d *Device) inNack(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
+	if err := conn.EndUnpacking(); err != nil {
+		panic(err)
+	}
+	d.handling(ch)
+	sr := d.pending[h.ReqID]
+	if sr == nil {
+		return // already failed or completed; stale nack
+	}
+	delete(d.pending, h.ReqID)
+	sr.Err = fmt.Errorf("ch_mad: gateway rank %d has no route to rank %d (forwarding misconfigured)",
+		h.SrcRank, h.Tag)
+	sr.Done.Fire()
+}
+
 // forward relays a message addressed to another rank toward its
 // destination (the §6 forwarding extension): store-and-forward at the
 // gateway, on a temporary thread.
 func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
-	d.NForwarded++
 	// Drain the incoming message completely (store).
 	var body []byte
 	switch h.Type {
-	case PktShort, PktRndv:
+	case PktShort, PktRndv, PktRndvSeg:
 		if h.Len > 0 {
 			n := h.Len
 			if d.MonolithicEager && h.Type == PktShort {
@@ -490,7 +635,14 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 	d.handling(ch)
 	rt, ok := d.routes[h.DstRank]
 	if !ok {
-		panic(fmt.Sprintf("ch_mad[%d]: cannot forward to rank %d: no route", d.rank, h.DstRank))
+		d.relayNoRoute(h)
+		return
+	}
+	d.NForwarded++
+	d.RelayBytes += uint64(len(body))
+	d.relayInFlight++
+	if d.relayInFlight > d.RelayQueuePeak {
+		d.RelayQueuePeak = d.relayInFlight
 	}
 	// Re-emit on the outbound channel (forward), off the polling thread.
 	d.proc.Spawn("ch_mad.forward", func() {
@@ -504,8 +656,38 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 		if err == nil {
 			err = conn2.EndPacking()
 		}
+		d.relayInFlight--
 		if err != nil {
 			panic(fmt.Sprintf("ch_mad[%d]: forward: %v", d.rank, err))
+		}
+	})
+}
+
+// relayNoRoute handles a relayed message this gateway has no onward route
+// for (misconfigured multi-hop topology). Rendez-vous requests are nacked
+// back to the sender, whose MPI Send then fails with a proper error;
+// anything else is counted and dropped — the sender of an eager message
+// already completed locally, so there is no request left to fail, and a
+// hung receive under a broken topology beats crashing every rank.
+func (d *Device) relayNoRoute(h header) {
+	d.NRelayDrops++
+	if h.Type != PktRequest {
+		return
+	}
+	back, ok := d.routes[h.SrcRank]
+	if !ok {
+		return // cannot even reach the sender; the drop counter records it
+	}
+	nack := header{
+		Type:    PktNack,
+		SrcRank: d.rank,
+		DstRank: h.SrcRank,
+		Tag:     h.DstRank, // the unreachable rank, for the error message
+		ReqID:   h.ReqID,
+	}
+	d.proc.Spawn("ch_mad.nack", func() {
+		if err := d.sendHeaderOnly(back, nack); err != nil {
+			panic(fmt.Sprintf("ch_mad[%d]: nack: %v", d.rank, err))
 		}
 	})
 }

@@ -34,6 +34,17 @@ const (
 	PktRndv
 	// PktTerm terminates a polling loop at MPI_Finalize.
 	PktTerm
+	// PktRndvSeg carries one pipelined segment of a multi-hop rendez-vous
+	// body (§6 forwarding extension): sync_address and byte offset in the
+	// header, the segment as a zero-copy body. Gateways relay each segment
+	// independently, so segment k+1 is in flight on the inbound hop while
+	// segment k is already being re-emitted outbound.
+	PktRndvSeg
+	// PktNack reports a relay failure back to the original sender: a
+	// gateway had no route for a forwarded rendez-vous request. Carries
+	// the request id so the sender can fail that send with an MPI error
+	// instead of the whole simulation crashing.
+	PktNack
 )
 
 func pktName(t int) string {
@@ -48,6 +59,10 @@ func pktName(t int) string {
 		return "MAD_RNDV_PKT"
 	case PktTerm:
 		return "MAD_TERM_PKT"
+	case PktRndvSeg:
+		return "MAD_RNDVSEG_PKT"
+	case PktNack:
+		return "MAD_NACK_PKT"
 	}
 	return fmt.Sprintf("pkt(%d)", t)
 }
@@ -66,10 +81,11 @@ type header struct {
 	Len     int
 	ReqID   uint32 // sender-side rendez-vous request id
 	SyncID  uint32 // receiver-side sync_address (MPID_RNDV_T)
+	Offset  int    // byte offset of a pipelined RNDV segment (PktRndvSeg)
 }
 
 // HeaderSize is the wire size of the ch_mad header block.
-const HeaderSize = 1 + 5*4 + 2*4
+const HeaderSize = 1 + 5*4 + 2*4 + 4
 
 func (h *header) encode() []byte {
 	buf := make([]byte, HeaderSize)
@@ -82,6 +98,7 @@ func (h *header) encode() []byte {
 	le.PutUint32(buf[17:], uint32(int32(h.Len)))
 	le.PutUint32(buf[21:], h.ReqID)
 	le.PutUint32(buf[25:], h.SyncID)
+	le.PutUint32(buf[29:], uint32(int32(h.Offset)))
 	return buf
 }
 
@@ -99,6 +116,7 @@ func decodeHeader(buf []byte) (header, error) {
 		Len:     int(int32(le.Uint32(buf[17:]))),
 		ReqID:   le.Uint32(buf[21:]),
 		SyncID:  le.Uint32(buf[25:]),
+		Offset:  int(int32(le.Uint32(buf[29:]))),
 	}, nil
 }
 

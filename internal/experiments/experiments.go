@@ -630,6 +630,7 @@ func All() ([]*Result, error) {
 		AblationHeaderSplit,
 		Forwarding,
 		HierCollectives,
+		GatewayCollectives,
 	}
 	for _, g := range gens {
 		r, err := g()
@@ -672,6 +673,8 @@ func ByID(id string) (*Result, error) {
 		return Forwarding()
 	case "hcoll":
 		return HierCollectives()
+	case "gateway":
+		return GatewayCollectives()
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q (see DESIGN.md experiment index)", id)
 }

@@ -1,0 +1,268 @@
+package experiments
+
+// The multi-gateway experiment (X5): the routing subsystem's benchmark
+// scenario. A 3-cluster bridged topology — two SCI islands and a Myrinet
+// island with NO common network, chained by two point-to-point TCP
+// bridges — exercises everything the cost-model router added: multi-hop
+// forwarded routes, gateway-aware leader election, pipelined relaying,
+// and gateway load accounting.
+
+import (
+	"fmt"
+	"strings"
+
+	"mpichmad/internal/cluster"
+	"mpichmad/internal/mpi"
+	"mpichmad/internal/stats"
+	"mpichmad/internal/vtime"
+)
+
+// gatewayTopo is the bridged 3-cluster topology (ranks 0-8). The bridge
+// endpoints a2, b1, b2, c1 are the gateways; rank numbering makes the
+// lowest-rank leader convention pick non-gateway leaders, so the
+// gateway-aware election has real work to do.
+func gatewayTopo() cluster.Topology {
+	return cluster.Topology{
+		Nodes: []cluster.NodeSpec{
+			{Name: "a0", Procs: 1}, {Name: "a1", Procs: 1}, {Name: "a2", Procs: 1},
+			{Name: "b0", Procs: 1}, {Name: "b1", Procs: 1}, {Name: "b2", Procs: 1},
+			{Name: "c0", Procs: 1}, {Name: "c1", Procs: 1}, {Name: "c2", Procs: 1},
+		},
+		Networks: []cluster.NetworkSpec{
+			{Name: "sciA", Protocol: "sisci", Nodes: []string{"a0", "a1", "a2"}},
+			{Name: "sciB", Protocol: "sisci", Nodes: []string{"b0", "b1", "b2"}},
+			{Name: "myriC", Protocol: "bip", Nodes: []string{"c0", "c1", "c2"}},
+			{Name: "gwAB", Protocol: "tcp", Nodes: []string{"a2", "b1"}},
+			{Name: "gwBC", Protocol: "tcp", Nodes: []string{"b2", "c1"}},
+		},
+		Forwarding: true,
+	}
+}
+
+// gatewayRun executes iters repetitions of op between bracketing
+// barriers on a fresh session and returns rank 0's per-operation time,
+// the total gateway-relayed messages in the measurement window (opening
+// barrier exit to closing barrier exit), and the session's relay stats.
+// op == nil runs the window empty — the baseline whose relays belong to
+// the barriers themselves.
+func gatewayRun(topo cluster.Topology, mode mpi.CollMode, iters, size int,
+	op func(comm *mpi.Comm, size int) error) (vtime.Duration, uint64, []stats.RelayStat, error) {
+	sess, err := cluster.Build(topo)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	for _, rk := range sess.Ranks {
+		rk.MPI.SetCollMode(mode)
+	}
+	forwards := func() uint64 {
+		var total uint64
+		for _, rk := range sess.Ranks {
+			total += rk.ChMad.NForwarded
+		}
+		return total
+	}
+	var perOp vtime.Duration
+	var relayed uint64
+	err = sess.Run(func(rank int, comm *mpi.Comm) error {
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		var before uint64
+		if rank == 0 {
+			before = forwards()
+		}
+		start := sess.S.Now()
+		if op != nil {
+			for i := 0; i < iters; i++ {
+				if err := op(comm, size); err != nil {
+					return err
+				}
+			}
+		}
+		if rank == 0 {
+			perOp = sess.S.Now().Sub(start) / vtime.Duration(iters)
+		}
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		if rank == 0 {
+			relayed = forwards() - before
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return perOp, relayed, sess.RelayStats(), nil
+}
+
+// gatewayColl measures one collective's per-operation time on the
+// bridged topology and the gateway-relayed message count per operation.
+// The relay count of an identical empty window (the bracketing barriers'
+// own gateway traffic) is subtracted, so the hop series reports what the
+// operation itself costs.
+func gatewayColl(topo cluster.Topology, mode mpi.CollMode, sizes []int,
+	op func(comm *mpi.Comm, size int) error) (*stats.Series, map[int]uint64, []stats.RelayStat, error) {
+	const iters = 3
+	s := &stats.Series{}
+	hops := make(map[int]uint64)
+	var relays []stats.RelayStat
+	_, base, _, err := gatewayRun(topo, mode, iters, 0, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, size := range sizes {
+		perOp, relayed, rs, err := gatewayRun(topo, mode, iters, size, op)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s.Add(size, perOp)
+		hops[size] = (relayed - base) / iters
+		if size == sizes[len(sizes)-1] {
+			relays = rs
+		}
+	}
+	return s, hops, relays, nil
+}
+
+// GatewayCollectives (X5) benchmarks the bridged 3-cluster topology:
+// flat, gateway-aware two-level and leader-oblivious two-level Bcast and
+// Allreduce (virtual time and gateway hops per operation), plus the
+// pipelined-vs-store-and-forward relay comparison on the longest routed
+// pair (a0 -> c2, four gateways). The *_gw two-level series must beat
+// flat past 64 KiB and the gateway-aware leaders must relay strictly
+// fewer messages than the oblivious ones — both gated by cmd/benchcheck.
+func GatewayCollectives() (*Result, error) {
+	sizes := []int{8, 4 << 10, 64 << 10, 256 << 10}
+	bcast := func(comm *mpi.Comm, size int) error {
+		buf := make([]byte, size)
+		return comm.Bcast(buf, size, mpi.Byte, 0)
+	}
+	allreduce := func(comm *mpi.Comm, size int) error {
+		in := make([]byte, size)
+		out := make([]byte, size)
+		return comm.Allreduce(in, out, size, mpi.Byte, mpi.OpMax)
+	}
+	aware := gatewayTopo()
+	naive := gatewayTopo()
+	naive.ObliviousLeaders = true
+
+	type bench struct {
+		name string
+		topo cluster.Topology
+		mode mpi.CollMode
+		op   func(comm *mpi.Comm, size int) error
+	}
+	benches := []bench{
+		{"Bcast_flat_gw", aware, mpi.CollFlat, bcast},
+		{"Bcast_2level_gw", aware, mpi.CollHier, bcast},
+		{"Bcast_2level_gwnaive", naive, mpi.CollHier, bcast},
+		{"Allreduce_flat_gw", aware, mpi.CollFlat, allreduce},
+		{"Allreduce_2level_gw", aware, mpi.CollHier, allreduce},
+		{"Allreduce_2level_gwnaive", naive, mpi.CollHier, allreduce},
+	}
+	var series []*stats.Series
+	hopRows := make(map[string]map[int]uint64)
+	var awareRelays []stats.RelayStat
+	for _, bm := range benches {
+		s, hops, relays, err := gatewayColl(bm.topo, bm.mode, sizes, bm.op)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bm.name, err)
+		}
+		s.Name = bm.name
+		series = append(series, s)
+		hopRows[bm.name] = hops
+		if bm.name == "Bcast_2level_gw" {
+			awareRelays = relays
+		}
+		if bm.mode == mpi.CollHier {
+			// Gateway hops as a series of their own: the acceptance
+			// criterion ("aware crosses strictly fewer gateway hops than
+			// oblivious") rides the same regression gate as the timings.
+			// The point value is a message count, not microseconds.
+			hs := &stats.Series{Name: "GwHops_" + bm.name}
+			for _, size := range sizes {
+				hs.Add(size, vtime.Duration(hops[size])*vtime.Microsecond)
+			}
+			series = append(series, hs)
+		}
+	}
+
+	// Relay pipelining on the longest routed pair: a0 (rank 0) to c2
+	// (rank 8) crosses all four gateways.
+	relaySizes := []int{4 << 10, 64 << 10, 256 << 10, 1 << 20}
+	relaySeries := func(name string, pipelined bool) (*stats.Series, error) {
+		s := &stats.Series{Name: name}
+		for _, size := range relaySizes {
+			sess, err := cluster.Build(gatewayTopo())
+			if err != nil {
+				return nil, err
+			}
+			if !pipelined {
+				for _, rk := range sess.Ranks {
+					rk.ChMad.RelayPipelining = false
+				}
+			}
+			size := size
+			var oneWay vtime.Duration
+			err = sess.Run(func(rank int, comm *mpi.Comm) error {
+				buf := make([]byte, size)
+				const iters = 2
+				switch rank {
+				case 0:
+					start := sess.S.Now()
+					for i := 0; i < iters; i++ {
+						if err := comm.Send(buf, size, mpi.Byte, 8, 1); err != nil {
+							return err
+						}
+						if _, err := comm.Recv(buf, size, mpi.Byte, 8, 1); err != nil {
+							return err
+						}
+					}
+					oneWay = sess.S.Now().Sub(start) / (2 * iters)
+				case 8:
+					for i := 0; i < iters; i++ {
+						if _, err := comm.Recv(buf, size, mpi.Byte, 0, 1); err != nil {
+							return err
+						}
+						if err := comm.Send(buf, size, mpi.Byte, 0, 1); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(size, oneWay)
+		}
+		return s, nil
+	}
+	piped, err := relaySeries("Relay_pipelined", true)
+	if err != nil {
+		return nil, err
+	}
+	stored, err := relaySeries("Relay_storefwd", false)
+	if err != nil {
+		return nil, err
+	}
+	series = append(series, piped, stored)
+
+	res := render("gateway",
+		"Extension X5: cost-model routing on a bridged 3-cluster topology (2 TCP bridges, no common network)",
+		'a', series)
+
+	var b strings.Builder
+	b.WriteString(res.Text)
+	b.WriteString("\nGateway hops per operation (relayed messages, 64K payload):\n")
+	fmt.Fprintf(&b, "%-26s %14s\n", "series", "gateway hops")
+	for _, bm := range benches {
+		fmt.Fprintf(&b, "%-26s %14d\n", bm.name, hopRows[bm.name][64<<10])
+	}
+	b.WriteString("\n")
+	b.WriteString(stats.RelayTable(
+		"Gateway load, two-level Bcast at 256K (gateway-aware leaders)", awareRelays))
+	res.Text = b.String()
+	return res, nil
+}

@@ -38,6 +38,42 @@
 // forms use. Ring reductions apply op in member order around the ring and
 // therefore assume a commutative op (all predefined ops are).
 //
+// # Routing and the gateway cost model
+//
+// On forwarded topologies (cluster.Topology.Forwarding, the paper's §6
+// extension) rank pairs without a shared network communicate through
+// multi-homed gateway nodes. Since PR 4 the paths come from a real
+// routing subsystem (internal/route) instead of a hop-count BFS: every
+// ordered pair gets the shortest-COST path under a model derived from
+// netsim.Params — per-hop latency and overheads, size-dependent
+// serialization at a reference payload, and a trunk-contention penalty
+// on shared-bandwidth backbones. Three things in this package consume
+// the result:
+//
+//   - Hierarchy.Leaders: the cluster session elects each cluster's
+//     leader to minimize gateway traversals (ranks on gateway nodes win;
+//     path cost breaks ties), and commTopo prefers that rank over the
+//     lowest-comm-rank convention whenever it is in the communicator.
+//     On a bridged 3-cluster topology this cuts the gateway hops of a
+//     two-level Bcast by a third.
+//   - Hierarchy.Inter: when leader exchanges are genuinely multi-hop,
+//     the backbone link is recalibrated to the worst routed leader-pair
+//     path (summed latency, bottleneck bandwidth and segment), so the
+//     analytic thresholds and the broadcast segmentation rule reason
+//     about the path a message actually takes.
+//   - The devices: routes carry the path length and the bottleneck
+//     pipeline segment, and ch_mad ships large multi-hop rendez-vous
+//     bodies as independent per-segment messages, so a gateway re-emits
+//     segment k while segment k+1 is still inbound (pipelined relay
+//     instead of whole-body store-and-forward; 2.5-3.3x on balanced
+//     3-gateway chains).
+//
+// The segmented two-level Alltoall applies the same idea inside a
+// schedule: on contended backbones the leader bundle exchange is cut
+// into eager segments with the staging copies interleaved between
+// injections, trading the per-bundle rendez-vous handshakes for
+// overlapped staging and transfer.
+//
 // # The MPI_Init autotuner
 //
 // Process.Autotune (or cluster.Topology.Autotune) replaces the analytic
@@ -51,7 +87,11 @@
 // rank installs identical bytes, so CollAuto dispatch stays agreed
 // everywhere. The sweep is deterministic in the topology (virtual time
 // has no noise). Communicators resolve the table once, at their first
-// collective; Process.TuneSnapshot exports it for reports.
+// collective; Process.TuneSnapshot exports it for reports, and
+// Process.LoadTuneTable installs an exported table directly — the
+// persistence path: cluster.Topology.TuneCache keys tables by a
+// topology-shape hash, so repeated sessions of the same shape skip the
+// sweep and load byte-identical rows.
 //
 // # The Icoll API
 //

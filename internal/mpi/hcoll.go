@@ -615,3 +615,169 @@ func (c *Comm) compileAlltoallHier(sendBuf, recvBuf []byte, count int, dt Dataty
 		}
 	})
 }
+
+// compileAlltoallHierSeg is the pipelined variant of the two-level
+// all-to-all: the leader bundle exchange is cut into eager-path segments
+// (block granularity, each at most segBytes) and the staging copies are
+// interleaved with the segment injections, so assembling segment k+1
+// overlaps segment k's flight across the backbone — the ROADMAP's
+// "intra-cluster staging overlaps the backbone transfer", reusing the
+// relay-pipelining idea at the schedule level. Because the segments ride
+// the eager path they also complete locally, eliminating the per-bundle
+// rendez-vous handshakes the whole-bundle exchange pays over the slow
+// link; the inbound segments buffer in the unexpected stash while this
+// leader is still staging, and one late round collects them all.
+//
+// Callers must guarantee one block fits a segment (count*dt.Size() <=
+// segBytes), which keeps every segment at or under the eager switch
+// point — Ialltoall falls back to the whole-bundle form otherwise.
+func (c *Comm) compileAlltoallHierSeg(sendBuf, recvBuf []byte, count int, dt Datatype, segBytes int) *schedule {
+	ct := c.topo()
+	n := c.Size()
+	sz := count * dt.Size()
+	ex := dt.Extent()
+	members := ct.clusters[ct.myCluster]
+	leader := ct.leaders[ct.myCluster]
+	mine := PackBuf(sendBuf, n*count, dt)
+	b := newSched("alltoall.hseg")
+
+	var myRecv []byte
+	if c.myRank != leader {
+		// Members are untouched by the segmentation: whole matrix up,
+		// whole receive vector back.
+		myRecv = make([]byte, n*sz)
+		b.send(leader, mine)
+		b.endRound()
+		b.recv(leader, myRecv)
+		b.endRound()
+	} else {
+		bps := 1
+		if sz > 0 {
+			bps = segBytes / sz
+			if bps < 1 {
+				bps = 1
+			}
+		}
+		// Phase 1: gather every member's send matrix.
+		mats := make([][]byte, len(members))
+		for i, m := range members {
+			if m == c.myRank {
+				mats[i] = mine
+				continue
+			}
+			mats[i] = make([]byte, n*sz)
+			b.recv(m, mats[i])
+		}
+		b.endRound()
+		// Phase 2: stage and inject the outbound bundles segment by
+		// segment. Bundle to cluster D holds len(members)*len(D) blocks
+		// ordered (source member asc, destination member asc); segment s
+		// covers blocks [s*bps, (s+1)*bps).
+		out := make([][]byte, ct.nClusters)
+		nSeg := 0
+		for di := 0; di < ct.nClusters; di++ {
+			if di == ct.myCluster {
+				continue
+			}
+			nb := len(members) * len(ct.clusters[di])
+			out[di] = make([]byte, nb*sz)
+			if s := (nb + bps - 1) / bps; s > nSeg {
+				nSeg = s
+			}
+		}
+		blockSrc := func(di, k int) []byte {
+			dm := ct.clusters[di]
+			i, j := k/len(dm), k%len(dm)
+			dst := dm[j]
+			return mats[i][dst*sz : (dst+1)*sz]
+		}
+		for s := 0; s < nSeg; s++ {
+			for di := 0; di < ct.nClusters; di++ {
+				if di == ct.myCluster {
+					continue
+				}
+				nb := len(out[di]) / sz
+				lo := s * bps
+				if lo >= nb {
+					continue
+				}
+				hi := lo + bps
+				if hi > nb {
+					hi = nb
+				}
+				for k := lo; k < hi; k++ {
+					b.copyStep(out[di][k*sz:(k+1)*sz], blockSrc(di, k))
+				}
+			}
+			b.endRound()
+			for di := 0; di < ct.nClusters; di++ {
+				if di == ct.myCluster {
+					continue
+				}
+				nb := len(out[di]) / sz
+				lo := s * bps
+				if lo >= nb {
+					continue
+				}
+				hi := lo + bps
+				if hi > nb {
+					hi = nb
+				}
+				b.send(ct.leaders[di], out[di][lo*sz:hi*sz])
+			}
+			b.endRound()
+		}
+		// Collect every inbound segment (mirroring each sender's slicing
+		// of its own bundle; FIFO matching per source pairs them in
+		// order). Most have already landed in the unexpected stash.
+		in := make([][]byte, ct.nClusters)
+		for di := 0; di < ct.nClusters; di++ {
+			if di == ct.myCluster {
+				continue
+			}
+			nb := len(ct.clusters[di]) * len(members)
+			in[di] = make([]byte, nb*sz)
+			for lo := 0; lo < nb; lo += bps {
+				hi := lo + bps
+				if hi > nb {
+					hi = nb
+				}
+				b.recv(ct.leaders[di], in[di][lo*sz:hi*sz])
+			}
+		}
+		b.endRound()
+		// Phase 3: assemble each member's receive vector and scatter —
+		// identical to the whole-bundle form.
+		vec := make([][]byte, len(members))
+		for j := range members {
+			vec[j] = make([]byte, n*sz)
+			for i, src := range members {
+				b.copyStep(vec[j][src*sz:(src+1)*sz], mats[i][members[j]*sz:(members[j]+1)*sz])
+			}
+			for di := 0; di < ct.nClusters; di++ {
+				if di == ct.myCluster {
+					continue
+				}
+				for i, src := range ct.clusters[di] {
+					blk := in[di][(i*len(members)+j)*sz : (i*len(members)+j+1)*sz]
+					b.copyStep(vec[j][src*sz:(src+1)*sz], blk)
+				}
+			}
+		}
+		b.endRound()
+		for j, m := range members {
+			if m == c.myRank {
+				myRecv = vec[j]
+				continue
+			}
+			b.send(m, vec[j])
+		}
+		b.endRound()
+	}
+	return b.build(func() {
+		c.p.M.Compute(c.p.memTime(n * sz))
+		for r := 0; r < n; r++ {
+			UnpackBuf(recvBuf[r*count*ex:], count, dt, myRecv[r*sz:(r+1)*sz])
+		}
+	})
+}

@@ -271,7 +271,15 @@ func (c *Comm) Ialltoall(sendBuf, recvBuf []byte, count int, dt Datatype) (*Coll
 			want, len(sendBuf), len(recvBuf))
 	}
 	return c.startColl("Ialltoall", false, noRoot, func() *schedule {
-		if c.chooseAlgo(kindAlltoall, c.Size()*count*dt.Size()) != algoFlat {
+		switch c.chooseAlgo(kindAlltoall, c.Size()*count*dt.Size()) {
+		case algoHierSegmented:
+			// Segmented exchange needs a block to fit one eager segment;
+			// bigger blocks use the whole-bundle rendez-vous form.
+			if seg := c.segmentBytes(); count*dt.Size() <= seg {
+				return c.compileAlltoallHierSeg(sendBuf, recvBuf, count, dt, seg)
+			}
+			return c.compileAlltoallHier(sendBuf, recvBuf, count, dt)
+		case algoHier:
 			return c.compileAlltoallHier(sendBuf, recvBuf, count, dt)
 		}
 		return c.compileAlltoallFlat(sendBuf, recvBuf, count, dt)

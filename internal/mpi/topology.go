@@ -57,6 +57,13 @@ type Hierarchy struct {
 	// Inter describes the slow inter-cluster backbone. Zero-valued when
 	// the job spans a single cluster.
 	Inter Link
+	// Leaders, when non-nil, is the gateway-aware preferred leader world
+	// rank of each cluster, elected by the cluster session from the
+	// routing plan (ranks on gateway nodes, weighted by path cost).
+	// Communicators use the preferred leader when it is a member and the
+	// lowest comm rank of the cluster otherwise; nil keeps the
+	// lowest-rank convention everywhere.
+	Leaders []int
 }
 
 // NumClusters returns the number of clusters in the hierarchy.
@@ -124,6 +131,7 @@ func (c *Comm) topo() *commTopo {
 	}
 	ct := &commTopo{clusterOf: make([]int, len(c.group))}
 	dense := make(map[int]int) // world cluster id -> dense index
+	var denseWorld []int       // dense index -> world cluster id
 	for r, w := range c.group {
 		wc := 0
 		if w < len(h.ClusterOf) {
@@ -133,13 +141,27 @@ func (c *Comm) topo() *commTopo {
 		if !ok {
 			di = len(ct.clusters)
 			dense[wc] = di
+			denseWorld = append(denseWorld, wc)
 			ct.clusters = append(ct.clusters, nil)
 			// r ascends, so the first member seen is the cluster's
-			// lowest comm rank: its leader.
+			// lowest comm rank: its default leader.
 			ct.leaders = append(ct.leaders, r)
 		}
 		ct.clusterOf[r] = di
 		ct.clusters[di] = append(ct.clusters[di], r)
+	}
+	// Gateway-aware preference: a cluster whose elected leader is in this
+	// communicator uses it instead of the lowest comm rank, so two-level
+	// exchanges start and end on gateway ranks when they can.
+	if h.Leaders != nil {
+		for di, wc := range denseWorld {
+			if wc >= len(h.Leaders) {
+				continue
+			}
+			if cr := c.commRankOfWorld(h.Leaders[wc]); cr >= 0 && ct.clusterOf[cr] == di {
+				ct.leaders[di] = cr
+			}
+		}
 	}
 	ct.nClusters = len(ct.clusters)
 	ct.myCluster = ct.clusterOf[c.myRank]
@@ -221,6 +243,12 @@ func (c *Comm) bcastSegment(total int) int {
 	return 0
 }
 
+// cappedBackbone reports whether the hierarchy's inter-cluster link
+// models shared-trunk contention (every extra crossing queues).
+func (c *Comm) cappedBackbone() bool {
+	return c.p.hier != nil && c.p.hier.Inter.SharedMBs > 0
+}
+
 // ringKind reports whether an operation has a ring compiler.
 func ringKind(kind collKind) bool {
 	return kind == kindAllreduce || kind == kindReduceScatter
@@ -234,7 +262,7 @@ func ringKind(kind collKind) bool {
 func (c *Comm) sanitizeAlgo(kind collKind, a collAlgo) collAlgo {
 	ct := c.topo()
 	multi := ct != nil && ct.nClusters >= 2
-	if a == algoHierSegmented && kind != kindBcast {
+	if a == algoHierSegmented && kind != kindBcast && kind != kindAlltoall {
 		a = algoHier
 	}
 	if a == algoRingHier {
@@ -285,6 +313,14 @@ func (c *Comm) chooseAlgo(kind collKind, nBytes int) collAlgo {
 		if kind == kindBcast && c.bcastSegment(nBytes) > 0 {
 			return c.sanitizeAlgo(kind, algoHierSegmented)
 		}
+		// Segmenting the Alltoall bundle exchange only pays where the
+		// backbone serializes crossings (shared trunk): it trades the
+		// per-bundle rendez-vous handshakes for per-segment eager copies,
+		// a loss on private full-rate pipes. The autotuner measures both
+		// candidates regardless.
+		if kind == kindAlltoall && c.cappedBackbone() && c.bcastSegment(nBytes) > 0 {
+			return c.sanitizeAlgo(kind, algoHierSegmented)
+		}
 		return c.sanitizeAlgo(kind, algoHier)
 	case CollRing:
 		return c.sanitizeAlgo(kind, algoRing)
@@ -314,7 +350,7 @@ func (c *Comm) analyticAlgo(kind collKind, nBytes int) collAlgo {
 	// capped: the backbone models shared-trunk contention, so every extra
 	// crossing queues — concurrency can no longer hide flat algorithms'
 	// O(n) crossings.
-	capped := c.p.hier != nil && c.p.hier.Inter.SharedMBs > 0
+	capped := c.cappedBackbone()
 	switch kind {
 	case kindBarrier, kindReduce, kindAllgather:
 		// Leader aggregation always reduces slow-link crossings; the

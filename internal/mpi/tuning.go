@@ -89,6 +89,50 @@ func (p *Process) TuneSnapshot() []TuneChoice {
 	return out
 }
 
+// LoadTuneTable installs a previously exported crossover table
+// (TuneSnapshot's format) without running the init sweep: the
+// autotuner-persistence path. The table must come from a topology of the
+// same shape — the cluster session keys its cache by a topology-shape
+// hash — and every rank must load the same rows, mirroring the broadcast
+// agreement of a live sweep. Costs no virtual time.
+func (p *Process) LoadTuneTable(choices []TuneChoice) error {
+	tt := &tuneTable{rows: make(map[collKind][]tuneRow)}
+	for _, tc := range choices {
+		kind, ok := kindByName(tc.Op)
+		if !ok {
+			return fmt.Errorf("mpi: LoadTuneTable: unknown operation %q", tc.Op)
+		}
+		algo, ok := algoByName(tc.Algo)
+		if !ok {
+			return fmt.Errorf("mpi: LoadTuneTable: unknown algorithm %q", tc.Algo)
+		}
+		tt.rows[kind] = append(tt.rows[kind], tuneRow{maxBytes: tc.MaxBytes, algo: algo})
+	}
+	p.tuned = tt
+	p.World.tt, p.World.ttSet = tt, true
+	return nil
+}
+
+// kindByName inverts kindNames (snapshot decoding).
+func kindByName(name string) (collKind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// algoByName inverts algoNames (snapshot decoding).
+func algoByName(name string) (collAlgo, bool) {
+	for a, n := range algoNames {
+		if n == name {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
 // Autotune runs the MPI_Init tuning sweep over MPI_COMM_WORLD: every
 // candidate algorithm of every tunable operation is compiled and executed
 // at each sweep size, rank 0 picks the fastest per (operation, size) and
@@ -116,9 +160,13 @@ func (c *Comm) tuneCandidates(kind collKind) []collAlgo {
 			return []collAlgo{algoFlat, algoRing, algoHier, algoRingHier}
 		}
 		return []collAlgo{algoFlat, algoRing}
-	case kindAllgather, kindAlltoall:
+	case kindAllgather:
 		if multi {
 			return []collAlgo{algoFlat, algoHier}
+		}
+	case kindAlltoall:
+		if multi {
+			return []collAlgo{algoFlat, algoHier, algoHierSegmented}
 		}
 	case kindReduceScatter:
 		if multi {

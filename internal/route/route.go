@@ -1,0 +1,289 @@
+// Package route is the cost-model routing subsystem between the fabric
+// (netsim) and the cluster wiring: it computes full shortest-cost paths
+// for every ordered rank pair over the proc/network graph, replacing the
+// hop-count BFS the §6 forwarding extension started with.
+//
+// The edge cost is derived from the calibrated netsim.Params of the
+// network carrying the hop: fixed per-hop cost (wire latency, injection
+// and extraction overheads, ch_mad device handling) plus size-dependent
+// serialization at a reference payload, plus a trunk-contention penalty
+// when the network models shared aggregate bandwidth (PR 3's arbiter) —
+// a capped backbone hop is charged its trunk occupancy twice, once for
+// its own serialization and once for the expected queueing behind a
+// competing crossing. Paths therefore prefer one fast-fabric hop over a
+// slow bridge, and an uncontended bridge over a contended one, which is
+// what gateway-aware leader election needs.
+//
+// The planner is deterministic: ties break toward the lower rank and the
+// lexicographically smaller network name, so every session wires
+// identical routes for identical topologies.
+package route
+
+import (
+	"sort"
+
+	"mpichmad/internal/netsim"
+)
+
+// DefaultRefBytes is the reference payload for edge costs: one mid-size
+// rendez-vous relay segment, large enough that bandwidth matters and
+// small enough that latency still does.
+const DefaultRefBytes = 16 << 10
+
+// Graph is the proc-level connectivity the planner works on: proc i is
+// attached to the networks named in NetsOf[i], and two procs share an
+// edge per network they are both attached to.
+type Graph struct {
+	N      int
+	NetsOf [][]string
+	Nets   map[string]netsim.Params
+}
+
+// Hop is one step of a routed path: the rank the hop lands on and the
+// network carrying it.
+type Hop struct {
+	Rank int
+	Net  string
+}
+
+// HopCost is the cost model of one hop over a network, in seconds, for an
+// nBytes payload: fixed per-hop costs plus serialization plus the
+// trunk-contention penalty described in the package comment.
+func HopCost(p netsim.Params, nBytes int) float64 {
+	fixed := p.WireLatency + p.SendOverhead + p.RecvOverhead + p.DeviceHandling
+	cost := fixed.Seconds() + p.TxTime(nBytes).Seconds()
+	if p.NetworkBandwidth > 0 {
+		trunk := p.TrunkTime(nBytes).Seconds()
+		if wire := p.TxTime(nBytes).Seconds(); trunk > wire {
+			cost += trunk - wire // a trunk slower than the pipe bounds the hop
+		}
+		cost += trunk // expected queueing behind one competing crossing
+	}
+	return cost
+}
+
+// Plan is the computed routing: per-source shortest-cost trees over the
+// proc graph, queryable per ordered pair.
+type Plan struct {
+	n        int
+	ref      int
+	nets     map[string]netsim.Params
+	netNames []string // sorted, for deterministic iteration
+	netCost  map[string]float64
+	attached []map[string]bool
+	prev     [][]int    // prev[src][v]: predecessor of v on the path from src (-1 at src, -2 unreachable)
+	prevNet  [][]string // prevNet[src][v]: network carrying prev[src][v] -> v
+	dist     [][]float64
+}
+
+// Compute plans all-pairs shortest-cost paths at the given reference
+// payload size (DefaultRefBytes when refBytes <= 0). Runs Dijkstra from
+// every source; topologies are small (ranks, not hosts), so the dense
+// O(N^3) is fine.
+func Compute(g Graph, refBytes int) *Plan {
+	if refBytes <= 0 {
+		refBytes = DefaultRefBytes
+	}
+	p := &Plan{
+		n:       g.N,
+		ref:     refBytes,
+		nets:    g.Nets,
+		prev:    make([][]int, g.N),
+		prevNet: make([][]string, g.N),
+		dist:    make([][]float64, g.N),
+	}
+
+	// Per-network cost at the reference size, and the cheapest edge between
+	// every pair (cost, then name, for determinism).
+	netCost := make(map[string]float64, len(g.Nets))
+	names := make([]string, 0, len(g.Nets))
+	for name, params := range g.Nets {
+		netCost[name] = HopCost(params, refBytes)
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	attached := make([]map[string]bool, g.N)
+	for i := 0; i < g.N; i++ {
+		attached[i] = make(map[string]bool, len(g.NetsOf[i]))
+		for _, nm := range g.NetsOf[i] {
+			attached[i][nm] = true
+		}
+	}
+	p.netNames, p.netCost, p.attached = names, netCost, attached
+	edge := p.DirectEdge
+
+	const unreached = -2
+	for src := 0; src < g.N; src++ {
+		dist := make([]float64, g.N)
+		prev := make([]int, g.N)
+		prevNet := make([]string, g.N)
+		done := make([]bool, g.N)
+		for i := range prev {
+			prev[i] = unreached
+			dist[i] = -1
+		}
+		dist[src], prev[src] = 0, -1
+		for {
+			cur := -1
+			for v := 0; v < g.N; v++ {
+				if done[v] || prev[v] == unreached {
+					continue
+				}
+				if cur == -1 || dist[v] < dist[cur] {
+					cur = v // ties keep the lower rank: v ascends
+				}
+			}
+			if cur == -1 {
+				break
+			}
+			done[cur] = true
+			for v := 0; v < g.N; v++ {
+				if v == cur || done[v] {
+					continue
+				}
+				nm, c, ok := edge(cur, v)
+				if !ok {
+					continue
+				}
+				nd := dist[cur] + c
+				if prev[v] == unreached || nd < dist[v] ||
+					(nd == dist[v] && cur < prev[v]) {
+					dist[v], prev[v], prevNet[v] = nd, cur, nm
+				}
+			}
+		}
+		p.dist[src], p.prev[src], p.prevNet[src] = dist, prev, prevNet
+	}
+	return p
+}
+
+// DirectEdge returns the cheapest network both procs are attached to and
+// its hop cost at the reference payload; ok=false when they share none.
+// Single-hop fallback for sessions without gateway forwarding, where the
+// planner's multi-hop preference cannot be honored.
+func (p *Plan) DirectEdge(a, b int) (net string, cost float64, ok bool) {
+	for _, nm := range p.netNames {
+		if !p.attached[a][nm] || !p.attached[b][nm] {
+			continue
+		}
+		if c := p.netCost[nm]; !ok || c < cost {
+			net, cost, ok = nm, c, true
+		}
+	}
+	return net, cost, ok
+}
+
+// N returns the number of procs planned over.
+func (p *Plan) N() int { return p.n }
+
+// RefBytes returns the reference payload the edge costs were taken at.
+func (p *Plan) RefBytes() int { return p.ref }
+
+// Routable reports whether dst is reachable from src.
+func (p *Plan) Routable(src, dst int) bool {
+	return src == dst || p.prev[src][dst] != -2
+}
+
+// Cost returns the path cost in seconds at the reference payload;
+// ok=false when unroutable.
+func (p *Plan) Cost(src, dst int) (float64, bool) {
+	if !p.Routable(src, dst) {
+		return 0, false
+	}
+	return p.dist[src][dst], true
+}
+
+// Path returns the hops from src to dst, excluding src and including dst;
+// nil, false when unroutable. A direct pair returns one hop.
+func (p *Plan) Path(src, dst int) ([]Hop, bool) {
+	if src == dst {
+		return nil, true
+	}
+	if !p.Routable(src, dst) {
+		return nil, false
+	}
+	var rev []Hop
+	for v := dst; v != src; v = p.prev[src][v] {
+		rev = append(rev, Hop{Rank: v, Net: p.prevNet[src][v]})
+	}
+	hops := make([]Hop, len(rev))
+	for i := range rev {
+		hops[i] = rev[len(rev)-1-i]
+	}
+	return hops, true
+}
+
+// Hops returns the path length from src to dst (1 = direct neighbours,
+// 0 = self), or -1 when unroutable.
+func (p *Plan) Hops(src, dst int) int {
+	hops, ok := p.Path(src, dst)
+	if !ok {
+		return -1
+	}
+	return len(hops)
+}
+
+// NextHop returns the first hop toward dst and the network carrying it;
+// ok=false when unroutable or src == dst.
+func (p *Plan) NextHop(src, dst int) (hop int, net string, ok bool) {
+	hops, routable := p.Path(src, dst)
+	if !routable || len(hops) == 0 {
+		return -1, "", false
+	}
+	return hops[0].Rank, hops[0].Net, true
+}
+
+// PathCost re-evaluates the path's cost at an arbitrary payload size
+// (the planner picked the path at the reference size); ok=false when
+// unroutable.
+func (p *Plan) PathCost(src, dst, nBytes int) (float64, bool) {
+	hops, ok := p.Path(src, dst)
+	if !ok {
+		return 0, false
+	}
+	total := 0.0
+	for _, h := range hops {
+		total += HopCost(p.nets[h.Net], nBytes)
+	}
+	return total, true
+}
+
+// PathSegment recommends the relay pipelining segment for the src->dst
+// path: the smallest PipelineSegment of the networks along it (the
+// bottleneck hop paces the pipeline); 0 when unroutable or direct.
+func (p *Plan) PathSegment(src, dst int) int {
+	hops, ok := p.Path(src, dst)
+	if !ok || len(hops) < 2 {
+		return 0
+	}
+	seg := 0
+	for _, h := range hops {
+		params := p.nets[h.Net]
+		if s := params.PipelineSegment(); seg == 0 || s < seg {
+			seg = s
+		}
+	}
+	return seg
+}
+
+// RelayLoad counts, per rank, how many ordered routable pairs relay
+// through it (the rank is an interior hop of the pair's path) — the
+// static gateway load of the plan.
+func (p *Plan) RelayLoad() []int {
+	load := make([]int, p.n)
+	for s := 0; s < p.n; s++ {
+		for d := 0; d < p.n; d++ {
+			if s == d {
+				continue
+			}
+			hops, ok := p.Path(s, d)
+			if !ok {
+				continue
+			}
+			for _, h := range hops[:len(hops)-1] {
+				load[h.Rank]++
+			}
+		}
+	}
+	return load
+}

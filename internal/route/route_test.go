@@ -1,0 +1,180 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mpichmad/internal/netsim"
+)
+
+// randomGraph builds a random heterogeneous proc/network graph with n
+// procs and up to four networks of mixed protocols, some trunk-capped.
+func randomGraph(rng *rand.Rand, n int) Graph {
+	presets := []func() netsim.Params{
+		netsim.FastEthernetTCP, netsim.SCISISCI, netsim.MyrinetBIP,
+	}
+	nNets := rng.Intn(4) + 1
+	g := Graph{N: n, NetsOf: make([][]string, n), Nets: make(map[string]netsim.Params)}
+	names := []string{"net0", "net1", "net2", "net3"}[:nNets]
+	for i, name := range names {
+		p := presets[(rng.Intn(len(presets)))]()
+		if rng.Intn(3) == 0 {
+			p.NetworkBandwidth = p.Bandwidth // capped trunk
+		}
+		g.Nets[name] = p
+		// Attach a random non-empty subset of procs.
+		attachedAny := false
+		for r := 0; r < n; r++ {
+			if rng.Intn(2) == 0 {
+				g.NetsOf[r] = append(g.NetsOf[r], name)
+				attachedAny = true
+			}
+		}
+		if !attachedAny {
+			g.NetsOf[rng.Intn(n)] = append(g.NetsOf[rng.Intn(n)], name)
+		}
+		_ = i
+	}
+	return g
+}
+
+// bruteCost is an exhaustive shortest-cost search (DFS over simple paths)
+// on the same edge model the planner uses.
+func bruteCost(g Graph, refBytes, src, dst int) (float64, bool) {
+	attached := func(r int, net string) bool {
+		for _, nm := range g.NetsOf[r] {
+			if nm == net {
+				return true
+			}
+		}
+		return false
+	}
+	edge := func(a, b int) (float64, bool) {
+		best, found := 0.0, false
+		for name, params := range g.Nets {
+			if !attached(a, name) || !attached(b, name) {
+				continue
+			}
+			if c := HopCost(params, refBytes); !found || c < best {
+				best, found = c, true
+			}
+		}
+		return best, found
+	}
+	bestTotal, found := 0.0, false
+	visited := make([]bool, g.N)
+	var dfs func(cur int, cost float64)
+	dfs = func(cur int, cost float64) {
+		if cur == dst {
+			if !found || cost < bestTotal {
+				bestTotal, found = cost, true
+			}
+			return
+		}
+		visited[cur] = true
+		for next := 0; next < g.N; next++ {
+			if visited[next] {
+				continue
+			}
+			if c, ok := edge(cur, next); ok {
+				dfs(next, cost+c)
+			}
+		}
+		visited[cur] = false
+	}
+	dfs(src, 0)
+	return bestTotal, found
+}
+
+// TestPlanMatchesBruteForce: on random <=8-proc heterogeneous graphs, the
+// planner's pair costs equal the exhaustive shortest-cost search, and
+// routability agrees. Also checks path self-consistency: summing HopCost
+// over the returned hops reproduces the reported cost.
+func TestPlanMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 60; iter++ {
+		n := rng.Intn(7) + 2
+		g := randomGraph(rng, n)
+		plan := Compute(g, DefaultRefBytes)
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				want, reachable := bruteCost(g, DefaultRefBytes, s, d)
+				if plan.Routable(s, d) != reachable {
+					t.Fatalf("iter %d: routable(%d,%d) = %v, brute force says %v",
+						iter, s, d, plan.Routable(s, d), reachable)
+				}
+				if !reachable {
+					continue
+				}
+				got, _ := plan.Cost(s, d)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("iter %d: cost(%d,%d) = %g, brute force %g", iter, s, d, got, want)
+				}
+				viaPath, _ := plan.PathCost(s, d, DefaultRefBytes)
+				if math.Abs(viaPath-got) > 1e-12 {
+					t.Fatalf("iter %d: PathCost(%d,%d) = %g, Cost = %g", iter, s, d, viaPath, got)
+				}
+				hops, _ := plan.Path(s, d)
+				if hops[len(hops)-1].Rank != d {
+					t.Fatalf("iter %d: path(%d,%d) ends at %d", iter, s, d, hops[len(hops)-1].Rank)
+				}
+				if got := plan.Hops(s, d); got != len(hops) {
+					t.Fatalf("iter %d: Hops(%d,%d) = %d, path has %d", iter, s, d, got, len(hops))
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDeterministic: planning the same graph twice yields identical
+// next hops, paths and costs.
+func TestPlanDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 10; iter++ {
+		g := randomGraph(rng, 6)
+		a, b := Compute(g, DefaultRefBytes), Compute(g, DefaultRefBytes)
+		if !reflect.DeepEqual(a.prev, b.prev) || !reflect.DeepEqual(a.prevNet, b.prevNet) {
+			t.Fatalf("iter %d: plans differ", iter)
+		}
+	}
+}
+
+// TestPathSegmentBottleneck: the relay segment of a multi-hop path is the
+// smallest PipelineSegment along it, and direct pairs get none.
+func TestPathSegmentBottleneck(t *testing.T) {
+	sci, tcp, bip := netsim.SCISISCI(), netsim.FastEthernetTCP(), netsim.MyrinetBIP()
+	g := Graph{
+		N: 4,
+		NetsOf: [][]string{
+			{"sci"}, {"sci", "tcp"}, {"tcp", "myri"}, {"myri"},
+		},
+		Nets: map[string]netsim.Params{"sci": sci, "tcp": tcp, "myri": bip},
+	}
+	plan := Compute(g, DefaultRefBytes)
+	if got := plan.Hops(0, 3); got != 3 {
+		t.Fatalf("hops(0,3) = %d, want 3", got)
+	}
+	want := sci.PipelineSegment()
+	if s := tcp.PipelineSegment(); s < want {
+		want = s
+	}
+	if s := bip.PipelineSegment(); s < want {
+		want = s
+	}
+	if got := plan.PathSegment(0, 3); got != want {
+		t.Fatalf("PathSegment(0,3) = %d, want bottleneck %d", got, want)
+	}
+	if got := plan.PathSegment(0, 1); got != 0 {
+		t.Fatalf("direct pair segment = %d, want 0", got)
+	}
+	// Gateways 1 and 2 each relay for the chain's separated pairs.
+	load := plan.RelayLoad()
+	if load[1] == 0 || load[2] == 0 || load[0] != 0 || load[3] != 0 {
+		t.Fatalf("relay load = %v", load)
+	}
+}

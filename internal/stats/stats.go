@@ -52,6 +52,29 @@ func (s *Series) At(size int) (Point, bool) {
 	return Point{}, false
 }
 
+// RelayStat is one gateway's relay load accounting for a session:
+// messages and body bytes it forwarded for other ranks, messages dropped
+// for lack of an onward route, and the peak store-and-forward queue
+// depth (the §6 forwarding extension's gateway-side cost).
+type RelayStat struct {
+	Name      string
+	Msgs      uint64
+	Bytes     uint64
+	Drops     uint64
+	QueuePeak int
+}
+
+// RelayTable renders gateway relay accounting as an aligned table.
+func RelayTable(title string, rows []RelayStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	fmt.Fprintf(&b, "%-18s %10s %14s %8s %10s\n", "gateway", "msgs", "bytes", "drops", "queue-peak")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %10d %14d %8d %10d\n", r.Name, r.Msgs, r.Bytes, r.Drops, r.QueuePeak)
+	}
+	return b.String()
+}
+
 // Sizes1B1KB is the paper's transfer-time sweep (Figs. 6a/7a/8a x-axis).
 func Sizes1B1KB() []int {
 	return []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
