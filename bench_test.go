@@ -223,10 +223,12 @@ func BenchmarkForwarding(b *testing.B) {
 // BenchmarkHierCollectives regenerates extension X4 (flat versus
 // two-level versus ring collectives on the 2x4-rank cluster-of-clusters)
 // plus extension X5 (the multi-gateway bridged topology: routed
-// collectives, gateway-aware leaders, pipelined relay), and records both
-// sweeps to BENCH_collectives.json for the regression gate.
+// collectives, gateway-aware leaders, pipelined relay) and its variant
+// (the bridged triangle: two-rail striping, adaptive re-routing, bounded
+// gateway queues), and records the sweeps to BENCH_collectives.json for
+// the regression gate.
 func BenchmarkHierCollectives(b *testing.B) {
-	var res, gw *experiments.Result
+	var res, gw, ad *experiments.Result
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.HierCollectives()
 		if err != nil {
@@ -238,8 +240,15 @@ func BenchmarkHierCollectives(b *testing.B) {
 			b.Fatal(err)
 		}
 		gw = g
+		a, err := experiments.AdaptiveMultipath()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ad = a
 	}
-	for _, s := range append(append([]*stats.Series{}, res.Series...), gw.Series...) {
+	all := append(append([]*stats.Series{}, res.Series...), gw.Series...)
+	all = append(all, ad.Series...)
+	for _, s := range all {
 		if p, ok := s.At(8); ok {
 			b.ReportMetric(p.LatencyUS(), "vus8B:"+sanitize(s.Name))
 		}
@@ -247,7 +256,7 @@ func BenchmarkHierCollectives(b *testing.B) {
 			b.ReportMetric(p.LatencyUS(), "vus64K:"+sanitize(s.Name))
 		}
 	}
-	writeCollectivesJSON(b, res, gw)
+	writeCollectivesJSON(b, res, gw, ad)
 }
 
 // writeCollectivesJSON records the X4 and X5 sweeps next to the benchmark
@@ -268,11 +277,14 @@ func writeCollectivesJSON(b *testing.B, results ...*experiments.Result) {
 		Topology   string   `json:"topology"`
 		Series     []series `json:"series"`
 	}{
-		Experiment: "X4 hierarchical collectives + X5 multi-gateway routing",
+		Experiment: "X4 hierarchical collectives + X5 multi-gateway routing + X5 variant adaptive multi-path relay",
 		Topology: "X4: 2 SCI islands x 4 single-proc nodes, interleaved ranks, TCP backbone" +
 			" (_cap series: backbone trunk capped at the TCP rate via netsim.Params.NetworkBandwidth);" +
 			" *_gw series (X5): bridged 3-cluster topology, 2 TCP bridges, no common network" +
-			" (GwHops_* point values are gateway-relayed message counts, not microseconds)",
+			" (GwHops_* point values are gateway-relayed message counts, not microseconds);" +
+			" Relay_stripe/_single, Adapt_*, AdaptQ_* and RelayQPeakMax (X5 variant): bridged triangle" +
+			" with a third TCP side — striping vs single-path relay, adaptive re-plan vs static under a" +
+			" loaded bridge (AdaptQ_*/RelayQPeakMax point values are relay queue depths, not microseconds)",
 	}
 	for _, res := range results {
 		for _, s := range res.Series {

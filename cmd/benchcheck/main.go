@@ -3,7 +3,13 @@
 // and fails if the hierarchy-aware algorithms stop beating their flat
 // counterparts on simulated time where they are supposed to — most
 // importantly, if Allreduce_2level loses to Allreduce_flat at large
-// message sizes on the contended-backbone 2x4 heterogeneous topology.
+// message sizes on the contended-backbone 2x4 heterogeneous topology —
+// or if the multi-path transport loses its striping/adaptive wins on the
+// bridged triangle, or any gateway queue exceeds its credit window.
+//
+// Every failure prints the expected relation, the actual values and the
+// margin by which the rule missed, so a regression can be triaged from
+// the CI log alone.
 //
 // Usage:
 //
@@ -33,12 +39,23 @@ type benchFile struct {
 	Series     []series `json:"series"`
 }
 
-// rule asserts that the challenger series is strictly faster than the
-// incumbent at every recorded size >= minSize.
+// rule asserts that the challenger series beats the incumbent at every
+// recorded size >= minSize: incumbent > challenger x minRatio. minRatio
+// 0 means 1.0 — strictly faster; 1.5 demands a 1.5x win.
 type rule struct {
 	challenger, incumbent string
 	minSize               int
+	minRatio              float64
 	why                   string
+}
+
+// capRule asserts that a series never exceeds its bound series at any
+// common size (used for queue-occupancy series, whose point values are
+// counts, not times). The bound rides the same file so the gate tracks
+// whatever window the data was actually generated under.
+type capRule struct {
+	series, bound string
+	why           string
 }
 
 func main() {
@@ -63,29 +80,44 @@ func main() {
 	}
 
 	rules := []rule{
-		{"Allreduce_2level_cap", "Allreduce_flat_cap", 64 << 10,
+		{"Allreduce_2level_cap", "Allreduce_flat_cap", 64 << 10, 0,
 			"two-level Allreduce must beat flat on time under backbone contention"},
-		{"Bcast_2level_cap", "Bcast_flat_cap", 64 << 10,
+		{"Bcast_2level_cap", "Bcast_flat_cap", 64 << 10, 0,
 			"two-level Bcast must beat flat on time under backbone contention"},
-		{"Allreduce_ring2l_cap", "Allreduce_flat_cap", 64 << 10,
+		{"Allreduce_ring2l_cap", "Allreduce_flat_cap", 64 << 10, 0,
 			"two-level ring Allreduce must beat the flat tree under backbone contention"},
-		{"Allreduce_ring", "Allreduce_flat", 64 << 10,
+		{"Allreduce_ring", "Allreduce_flat", 64 << 10, 0,
 			"ring Allreduce must beat the binomial tree for large vectors"},
 		// X5: the multi-gateway bridged topology (cost-model routing).
-		{"Bcast_2level_gw", "Bcast_flat_gw", 64 << 10,
+		{"Bcast_2level_gw", "Bcast_flat_gw", 64 << 10, 0,
 			"routed two-level Bcast must beat the flat-forwarded tree on the bridged 3-cluster topology"},
-		{"Allreduce_2level_gw", "Allreduce_flat_gw", 64 << 10,
+		{"Allreduce_2level_gw", "Allreduce_flat_gw", 64 << 10, 0,
 			"routed two-level Allreduce must beat the flat-forwarded tree on the bridged 3-cluster topology"},
-		{"GwHops_Bcast_2level_gw", "GwHops_Bcast_2level_gwnaive", 64 << 10,
+		{"GwHops_Bcast_2level_gw", "GwHops_Bcast_2level_gwnaive", 64 << 10, 0,
 			"gateway-aware two-level Bcast must cross strictly fewer gateway hops than oblivious leaders"},
-		{"GwHops_Allreduce_2level_gw", "GwHops_Allreduce_2level_gwnaive", 64 << 10,
+		{"GwHops_Allreduce_2level_gw", "GwHops_Allreduce_2level_gwnaive", 64 << 10, 0,
 			"gateway-aware two-level Allreduce must cross strictly fewer gateway hops than oblivious leaders"},
-		{"Relay_pipelined", "Relay_storefwd", 64 << 10,
+		{"Relay_pipelined", "Relay_storefwd", 64 << 10, 0,
 			"pipelined gateway relay must beat store-and-forward for >= 64 KiB payloads"},
+		// X5 variant: the bridged triangle (adaptive multi-path relay).
+		{"Relay_stripe", "Relay_single", 64 << 10, 1.5,
+			"two-rail striping must be >= 1.5x faster than the single-path pipelined relay"},
+		{"Adapt_adaptive", "Adapt_static", 64 << 10, 0,
+			"the adaptive re-plan must beat the static plan when a bridge is loaded"},
+		{"AdaptQ_adaptive", "AdaptQ_static", 64 << 10, 0,
+			"the adaptive re-plan must lower the hot gateway's relay queue depth"},
+	}
+	caps := []capRule{
+		{"RelayQPeakMax", "RelayQWindow",
+			"no gateway store-and-forward queue may exceed the configured credit window"},
 	}
 
 	failed := 0
 	for _, r := range rules {
+		minRatio := r.minRatio
+		if minRatio == 0 {
+			minRatio = 1.0
+		}
 		ch, ok := byName[r.challenger]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: series %q missing from %s\n", r.challenger, *file)
@@ -108,12 +140,23 @@ func main() {
 				continue
 			}
 			checked++
-			if chUS >= incUS {
-				fmt.Fprintf(os.Stderr,
-					"benchcheck: FAIL: %s (%.1f us) not faster than %s (%.1f us) at %d B — %s\n",
-					r.challenger, chUS, r.incumbent, incUS, size, r.why)
-				failed++
+			if incUS > chUS*minRatio {
+				continue
 			}
+			// Expected vs actual plus the miss margin, in both the
+			// rule's unit and as a ratio where one is defined.
+			fmt.Fprintf(os.Stderr,
+				"benchcheck: FAIL: %s vs %s at %d B — %s\n", r.challenger, r.incumbent, size, r.why)
+			fmt.Fprintf(os.Stderr,
+				"  expected: %s > %.2fx × %s\n", r.incumbent, minRatio, r.challenger)
+			fmt.Fprintf(os.Stderr,
+				"  actual:   %s = %.1f, %s = %.1f (needed %s < %.1f, short by %.1f",
+				r.incumbent, incUS, r.challenger, chUS, r.challenger, incUS/minRatio, chUS-incUS/minRatio)
+			if chUS > 0 {
+				fmt.Fprintf(os.Stderr, "; achieved %.2fx of the required %.2fx", incUS/chUS, minRatio)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+			failed++
 		}
 		if checked == 0 {
 			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: no common sizes >= %d B for %s vs %s\n",
@@ -121,10 +164,44 @@ func main() {
 			failed++
 		}
 	}
+	for _, c := range caps {
+		s, ok := byName[c.series]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: series %q missing from %s\n", c.series, *file)
+			failed++
+			continue
+		}
+		bound, ok := byName[c.bound]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: bound series %q missing from %s\n", c.bound, *file)
+			failed++
+			continue
+		}
+		checked := 0
+		for size, v := range s {
+			max, ok := bound[size]
+			if !ok {
+				continue
+			}
+			checked++
+			if v <= max {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: %s at %d B — %s\n", c.series, size, c.why)
+			fmt.Fprintf(os.Stderr, "  expected: <= %s = %.1f\n  actual:   %.1f (over by %.1f)\n",
+				c.bound, max, v, v-max)
+			failed++
+		}
+		if checked == 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: no common sizes for %s vs bound %s\n",
+				c.series, c.bound)
+			failed++
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("benchcheck: %d rules hold on %s\n", len(rules), *file)
+	fmt.Printf("benchcheck: %d rules and %d caps hold on %s\n", len(rules), len(caps), *file)
 }
 
 func fatal(err error) {

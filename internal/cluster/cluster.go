@@ -71,8 +71,48 @@ type Topology struct {
 	// the ablation baseline for the routing subsystem's benchmarks.
 	ObliviousLeaders bool
 
+	// MaxPaths is the number of edge-disjoint paths the routing planner
+	// exposes per rank pair (internal/route Options.MaxPaths). 0 defaults
+	// to 2 on forwarded topologies — the bridged triangle's third side
+	// becomes a real second rail the device stripes large rendez-vous
+	// bodies over — and 1 otherwise. Set 1 to force the classic
+	// single-path planner (striping ablation).
+	MaxPaths int
+
+	// RelayWindow bounds every gateway's store-and-forward queue (the
+	// relay credit window, core.Device.RelayWindow): 0 defaults to
+	// DefaultRelayWindow on forwarded topologies, negative disables the
+	// bound entirely (the historical unbounded queue).
+	RelayWindow int
+
 	// Deadline bounds the session's virtual time (default 1000 s).
 	Deadline vtime.Duration
+}
+
+// resolvedMaxPaths is the effective planner path count after defaulting:
+// 2 on forwarded topologies (the second rail), 1 otherwise.
+func (topo Topology) resolvedMaxPaths() int {
+	if topo.MaxPaths != 0 {
+		return topo.MaxPaths
+	}
+	if topo.Forwarding {
+		return 2
+	}
+	return 1
+}
+
+// resolvedRelayWindow is the effective gateway queue bound after
+// defaulting: DefaultRelayWindow on forwarded topologies, 0 (unbounded)
+// otherwise or when explicitly negative.
+func (topo Topology) resolvedRelayWindow() int {
+	w := topo.RelayWindow
+	if w == 0 && topo.Forwarding {
+		w = DefaultRelayWindow
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w
 }
 
 // Rank is one wired MPI process.
@@ -86,6 +126,19 @@ type Rank struct {
 	ChMad *core.Device
 }
 
+// DefaultRelayWindow is the gateway store-and-forward queue bound wired
+// onto forwarded topologies when Topology.RelayWindow is zero: deep
+// enough that a healthy pipelined relay never stalls, shallow enough
+// that a hot gateway backpressures its senders instead of buffering an
+// entire collective.
+const DefaultRelayWindow = 16
+
+// railCostFactor caps how much worse (in planner wire cost) an alternate
+// rail may be than the primary path and still be installed: striping
+// round-robin over a rail several times slower would drag the stripe
+// down to its pace.
+const railCostFactor = 3.0
+
 // Session is a fully wired simulated MPI job, ready to Run.
 type Session struct {
 	S        *vtime.Scheduler
@@ -98,6 +151,11 @@ type Session struct {
 	places     []placementInfo     // rank -> placement
 	hier       *mpi.Hierarchy      // discovered cluster structure
 	plan       *route.Plan         // cost-model routing (ch_mad only)
+	graph      route.Graph         // the proc graph the plan was computed on
+	maxPaths   int                 // resolved Topology.MaxPaths
+	minSwitch  int                 // smallest elected device switch point
+	devs       []*core.Device      // rank -> ch_mad device (nil for ch_p4)
+	chanOf     []map[string]*madeleine.Channel
 	rankErr    []error
 }
 
@@ -236,8 +294,9 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 
 	// Inter-node routing: the cost-model routing subsystem plans full
 	// shortest-cost paths over the proc graph whose edges are shared
-	// networks (internal/route); the device gets the first hop plus the
-	// path metadata (hop count, relay pipelining segment). Multi-hop
+	// networks (internal/route); the device gets, per destination, up to
+	// MaxPaths edge-disjoint rails carrying the path metadata (hop count,
+	// relay pipelining segment, wire cost for stripe weighting). Multi-hop
 	// routes through gateways are installed only when Forwarding is on.
 	g := route.Graph{
 		N:      size,
@@ -250,50 +309,34 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 	for name, net := range sess.Networks {
 		g.Nets[name] = net.Params
 	}
-	plan := route.Compute(g, route.DefaultRefBytes)
-	sess.plan = plan
-
+	sess.graph = g
+	sess.maxPaths = sess.Topo.resolvedMaxPaths()
+	sess.devs = make([]*core.Device, size)
+	sess.chanOf = make([]map[string]*madeleine.Channel, size)
 	for r := 0; r < size; r++ {
-		w := wirings[r]
-		for dst := 0; dst < size; dst++ {
-			if dst == r || places[dst].node == places[r].node {
-				continue
-			}
-			hop, netName, ok := plan.NextHop(r, dst)
-			if !ok {
-				continue // unroutable: Send will error
-			}
-			hops := plan.Hops(r, dst)
-			seg := plan.PathSegment(r, dst)
-			if hops > 1 && !sess.Topo.Forwarding {
-				// Gateways required but forwarding is off: fall back to a
-				// direct shared network if one exists (the planner may
-				// have preferred a cheaper relayed path), else unroutable.
-				direct, _, shared := plan.DirectEdge(r, dst)
-				if !shared {
-					continue
-				}
-				hop, netName, hops, seg = dst, direct, 1, 0
-			}
-			w.rank.ChMad.AddRoute(dst, core.Route{
-				Channel:  w.chanOf[netName],
-				NextNode: places[hop].proc,
-				Hops:     hops,
-				SegBytes: seg,
-			})
-		}
+		sess.devs[r] = wirings[r].rank.ChMad
+		sess.chanOf[r] = wirings[r].chanOf
 	}
+	plan := route.ComputeOpts(g, route.Options{RefBytes: route.DefaultRefBytes, MaxPaths: sess.maxPaths})
+	sess.plan = plan
+	sess.installRoutes(plan)
+
+	// Bound every gateway's store-and-forward queue (admission control);
+	// RelayWindow < 0 keeps the historical unbounded queue.
+	window := sess.Topo.resolvedRelayWindow()
 
 	// Start the devices first (this elects each ch_mad switch point), then
 	// discover the cluster hierarchy: the backbone pipeline segment must
 	// stay at or below every device's eager threshold.
 	minSwitch := 0
 	for r := 0; r < size; r++ {
+		wirings[r].rank.ChMad.RelayWindow = window
 		wirings[r].rank.ChMad.Start()
 		if sp := wirings[r].rank.ChMad.SwitchPoint(); minSwitch == 0 || sp < minSwitch {
 			minSwitch = sp
 		}
 	}
+	sess.minSwitch = minSwitch
 	hier := sess.discoverHierarchy(minSwitch)
 
 	for r := 0; r < size; r++ {
@@ -322,27 +365,156 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 	return nil
 }
 
+// installRoutes installs every rank's routes and rails from a plan,
+// replacing whatever was wired before (shared by Build and Replan).
+func (sess *Session) installRoutes(plan *route.Plan) {
+	size := len(sess.places)
+	for r := 0; r < size; r++ {
+		dev := sess.devs[r]
+		if dev == nil {
+			continue
+		}
+		for dst := 0; dst < size; dst++ {
+			if dst == r || sess.places[dst].node == sess.places[r].node {
+				continue
+			}
+			dev.SetRails(dst, sess.railsFor(plan, r, dst))
+		}
+	}
+}
+
+// railsFor translates a pair's planned path set into device routes:
+// rails[0] is the primary, alternates follow while their wire cost stays
+// within railCostFactor of the primary's. Gateways required but
+// forwarding off falls back to a direct shared network if one exists
+// (the planner may have preferred a cheaper relayed path), else the pair
+// stays unroutable and Send errors.
+func (sess *Session) railsFor(plan *route.Plan, r, dst int) []core.Route {
+	paths, ok := plan.Paths(r, dst)
+	if !ok || len(paths) == 0 {
+		return nil
+	}
+	if len(paths[0]) > 1 && !sess.Topo.Forwarding {
+		direct, _, shared := plan.DirectEdge(r, dst)
+		if !shared {
+			return nil
+		}
+		return []core.Route{{
+			Channel:  sess.chanOf[r][direct],
+			NextNode: sess.places[dst].proc,
+			Hops:     1,
+		}}
+	}
+	primCost := plan.PathCostOf(paths[0], plan.RefBytes())
+	var rails []core.Route
+	for i, hops := range paths {
+		if len(hops) > 1 && !sess.Topo.Forwarding {
+			break // no gateway rails in a session without forwarding
+		}
+		cost := plan.PathCostOf(hops, plan.RefBytes())
+		if i > 0 && cost > railCostFactor*primCost {
+			break // alternates only get worse from here
+		}
+		rails = append(rails, core.Route{
+			Channel:        sess.chanOf[r][hops[0].Net],
+			NextNode:       sess.places[hops[0].Rank].proc,
+			Hops:           len(hops),
+			SegBytes:       plan.PathSegmentOf(hops),
+			Cost:           cost,
+			BottleneckCost: plan.PathBottleneckOf(hops, plan.RefBytes()),
+		})
+	}
+	return rails
+}
+
+// Replan closes the adaptive loop: it recomputes the routing plan with
+// every gateway's observed relay-queue pressure (the high-water mark
+// since the previous replan, or the live depth if higher) fed back into
+// the edge costs as a congestion term, reinstalls routes and rails on
+// every device, and re-elects cluster leaders plus the recalibrated
+// backbone link from the new plan. Schedules stay deterministic within a
+// run because replanning only happens when the caller invokes it — call
+// it at a collective boundary (all ranks quiescent, e.g. right after a
+// Barrier) from a single rank's program. Communicators pick the new
+// routes up immediately (routing is resolved per message) and the new
+// leaders at their next collective. No-op for ch_p4 sessions.
+func (sess *Session) Replan() *route.Plan {
+	if sess.plan == nil {
+		return nil
+	}
+	cong := make([]float64, len(sess.places))
+	for r, dev := range sess.devs {
+		if dev == nil {
+			continue
+		}
+		depth := dev.TakeRelayHigh()
+		if live := dev.RelayQueueDepth(); live > depth {
+			depth = live
+		}
+		if depth == 0 {
+			continue
+		}
+		cong[r] = float64(depth) * sess.congestionUnit(r)
+	}
+	plan := route.ComputeOpts(sess.graph, route.Options{
+		RefBytes:   route.DefaultRefBytes,
+		MaxPaths:   sess.maxPaths,
+		Congestion: cong,
+	})
+	sess.plan = plan
+	sess.installRoutes(plan)
+	if sess.hier != nil {
+		sess.electLeaders(sess.hier)
+		sess.routedInter(sess.hier, sess.minSwitch)
+		for _, rk := range sess.Ranks {
+			rk.MPI.RefreshHierarchy(sess.hier)
+		}
+	}
+	return plan
+}
+
+// congestionUnit is the edge-cost penalty one unit of relay-queue depth
+// at rank r contributes: one reference-payload hop on the most expensive
+// network attached to it — roughly how long a queued body occupies the
+// gateway's bottleneck link.
+func (sess *Session) congestionUnit(r int) float64 {
+	unit := 0.0
+	for _, name := range sess.netsOfNode[sess.places[r].node] {
+		if c := route.HopCost(sess.Networks[name].Params, route.DefaultRefBytes); c > unit {
+			unit = c
+		}
+	}
+	return unit
+}
+
 // RoutePlan returns the session's computed routing plan (nil for ch_p4
 // sessions, which have a single flat network).
 func (sess *Session) RoutePlan() *route.Plan { return sess.plan }
 
 // RelayStats reports the gateway load accounting of every rank that
-// relayed traffic this session: messages and body bytes forwarded, drops
-// for lack of an onward route, and the peak store-and-forward queue
-// depth. Ordered by rank.
+// relayed (or refused) traffic this session: messages and body bytes
+// forwarded, drops broken out by reason (no-route vs queue-full),
+// admission-control activity (deferred bodies, busy nacks) and the peak
+// store-and-forward queue depth against the configured window. Ordered
+// by rank.
 func (sess *Session) RelayStats() []stats.RelayStat {
 	var out []stats.RelayStat
 	for _, rk := range sess.Ranks {
 		d := rk.ChMad
-		if d == nil || (d.NForwarded == 0 && d.NRelayDrops == 0) {
+		if d == nil || (d.NForwarded == 0 && d.NRelayDrops == 0 &&
+			d.NRelayBusy == 0 && d.NRelayDeferred == 0) {
 			continue
 		}
 		out = append(out, stats.RelayStat{
-			Name:      fmt.Sprintf("rank%d(%s)", rk.Rank, rk.Node),
-			Msgs:      d.NForwarded,
-			Bytes:     d.RelayBytes,
-			Drops:     d.NRelayDrops,
-			QueuePeak: d.RelayQueuePeak,
+			Name:           fmt.Sprintf("rank%d(%s)", rk.Rank, rk.Node),
+			Msgs:           d.NForwarded,
+			Bytes:          d.RelayBytes,
+			DropsNoRoute:   d.NDropsNoRoute,
+			DropsQueueFull: d.NDropsQueueFull,
+			Deferred:       d.NRelayDeferred,
+			BusyNacks:      d.NRelayBusy,
+			QueuePeak:      d.RelayQueuePeak,
+			Window:         d.RelayWindow,
 		})
 	}
 	return out

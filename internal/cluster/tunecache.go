@@ -9,8 +9,10 @@ package cluster
 // forwarding, and the leader-election policy.
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"sync"
 
 	"mpichmad/internal/mpi"
@@ -58,6 +60,55 @@ func (tc *TuneCache) Stats() (hits, misses int) {
 	return tc.hits, tc.misses
 }
 
+// Len returns the number of cached tables.
+func (tc *TuneCache) Len() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.tables)
+}
+
+// SaveFile persists the cache as JSON (shape hash -> crossover table) so
+// a later process can skip the init sweep for topologies it has already
+// measured. Written atomically via a temp file in the same directory.
+func (tc *TuneCache) SaveFile(path string) error {
+	tc.mu.Lock()
+	data, err := json.MarshalIndent(tc.tables, "", "  ")
+	tc.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadTuneCacheFile rebuilds a cache from a SaveFile snapshot. It always
+// returns a usable cache: a missing, truncated or otherwise corrupted
+// file yields an empty one (the session simply pays a fresh sweep), and
+// individual tables that fail validation — unknown algorithm names,
+// nonsense brackets — are dropped rather than poisoning sessions that
+// would load them.
+func LoadTuneCacheFile(path string) *TuneCache {
+	tc := NewTuneCache()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return tc
+	}
+	var tables map[string][]mpi.TuneChoice
+	if err := json.Unmarshal(data, &tables); err != nil {
+		return tc
+	}
+	for key, table := range tables {
+		if mpi.ValidateTuneChoices(table) != nil {
+			continue
+		}
+		tc.tables[key] = table
+	}
+	return tc
+}
+
 // ShapeHash fingerprints everything about the topology that can alter
 // autotuner timings. Two topologies with equal hashes produce identical
 // sweeps (virtual time has no noise), so their crossover tables are
@@ -67,7 +118,12 @@ func (topo Topology) ShapeHash() string {
 	w := func(format string, args ...interface{}) {
 		fmt.Fprintf(h, format, args...)
 	}
-	w("device=%s;forwarding=%t;oblivious=%t;", topo.Device, topo.Forwarding, topo.ObliviousLeaders)
+	// The multi-path knobs hash as their resolved effective values, so a
+	// spelled-out default (MaxPaths: 2, RelayWindow: 16 on a forwarded
+	// topology) shares its cached table with the zero-valued spelling.
+	w("device=%s;forwarding=%t;oblivious=%t;maxpaths=%d;window=%d;",
+		topo.Device, topo.Forwarding, topo.ObliviousLeaders,
+		topo.resolvedMaxPaths(), topo.resolvedRelayWindow())
 	for _, nd := range topo.Nodes {
 		w("node=%s:%d;", nd.Name, nd.Procs)
 	}

@@ -1,0 +1,130 @@
+package cluster
+
+// Tests of the autotuner cache's file persistence: round-trip fidelity,
+// and the corruption contract — a damaged cache file must degrade to a
+// fresh sweep, never an error or a panic.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpichmad/internal/mpi"
+)
+
+func tuneCacheFixture() *TuneCache {
+	tc := NewTuneCache()
+	tc.Store("shape-a", []mpi.TuneChoice{
+		{Op: "Allreduce", MaxBytes: 16 << 10, Algo: "2level"},
+		{Op: "Allreduce", MaxBytes: 1 << 60, Algo: "2level-ring"},
+	})
+	tc.Store("shape-b", []mpi.TuneChoice{
+		{Op: "Bcast", MaxBytes: 1 << 60, Algo: "2level-seg"},
+	})
+	return tc
+}
+
+// TestTuneCacheFileRoundtrip: SaveFile + LoadTuneCacheFile reproduce the
+// cached tables exactly.
+func TestTuneCacheFileRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.json")
+	if err := tuneCacheFixture().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded := LoadTuneCacheFile(path)
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d tables, want 2", loaded.Len())
+	}
+	table, ok := loaded.Lookup("shape-a")
+	if !ok || len(table) != 2 {
+		t.Fatalf("shape-a table: %v (ok=%v)", table, ok)
+	}
+	if table[0] != (mpi.TuneChoice{Op: "Allreduce", MaxBytes: 16 << 10, Algo: "2level"}) {
+		t.Fatalf("row mismatch: %+v", table[0])
+	}
+}
+
+// TestTuneCacheFileCorruption: every flavor of damage — missing file,
+// truncation mid-JSON, binary garbage, valid JSON with an unknown
+// algorithm — yields a usable (empty or partial) cache, and a session
+// handed such a cache falls back to a fresh sweep instead of erroring.
+func TestTuneCacheFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "tune.json")
+	if err := tuneCacheFixture().SaveFile(good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(name string, content []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"missing":   filepath.Join(dir, "does-not-exist.json"),
+		"truncated": write("truncated.json", data[:len(data)/2]),
+		"garbage":   write("garbage.json", []byte{0x00, 0xff, 0x13, 0x37, '{', '{'}),
+		"empty":     write("empty.json", nil),
+	}
+	for name, path := range cases {
+		tc := LoadTuneCacheFile(path)
+		if tc == nil {
+			t.Fatalf("%s: nil cache", name)
+		}
+		if tc.Len() != 0 {
+			t.Errorf("%s: loaded %d tables from a corrupt file", name, tc.Len())
+		}
+	}
+
+	// Valid JSON whose rows could not be installed: the poisoned table is
+	// dropped, intact ones survive.
+	mixed := write("mixed.json", []byte(`{
+		"shape-ok":  [{"Op": "Bcast", "MaxBytes": 1024, "Algo": "2level"}],
+		"shape-bad": [{"Op": "Bcast", "MaxBytes": 1024, "Algo": "warp-drive"}],
+		"shape-neg": [{"Op": "Allreduce", "MaxBytes": -5, "Algo": "flat"}]
+	}`))
+	tc := LoadTuneCacheFile(mixed)
+	if tc.Len() != 1 {
+		t.Fatalf("mixed file: kept %d tables, want only the valid one", tc.Len())
+	}
+	if _, ok := tc.Lookup("shape-ok"); !ok {
+		t.Fatal("valid table dropped alongside the poisoned ones")
+	}
+
+	// A session wired with a corruption-degraded (empty) cache runs the
+	// sweep from scratch: same table as an uncached autotuned session,
+	// no error, and the fresh result lands in the cache.
+	degraded := LoadTuneCacheFile(cases["truncated"])
+	topo := bridgedTriple()
+	topo.Autotune = true
+	topo.TuneCache = degraded
+	sess, err := Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []mpi.TuneChoice
+	if err := sess.Run(func(rank int, comm *mpi.Comm) error {
+		if rank == 0 {
+			snap = sess.Ranks[0].MPI.TuneSnapshot()
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("session with corruption-degraded cache: %v", err)
+	}
+	if snap == nil {
+		t.Fatal("fresh sweep installed no tuning table")
+	}
+	if degraded.Len() != 1 {
+		t.Fatalf("fresh sweep not cached: %d tables", degraded.Len())
+	}
+	if _, misses := degraded.Stats(); misses != 1 {
+		_, m := degraded.Stats()
+		t.Fatalf("misses = %d, want 1 (the fresh sweep)", m)
+	}
+}

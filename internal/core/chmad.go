@@ -7,6 +7,7 @@ import (
 	"mpichmad/internal/madeleine"
 	"mpichmad/internal/marcel"
 	"mpichmad/internal/netsim"
+	"mpichmad/internal/vtime"
 )
 
 // Route tells the device how to reach a destination rank: which Madeleine
@@ -29,6 +30,19 @@ type Route struct {
 	// transfers instead of store-and-forwarding the whole body. Zero
 	// disables segmentation.
 	SegBytes int
+
+	// Cost is the planner's wire cost of the full path in seconds at the
+	// reference payload (route.Plan.PathCostOf): what rail installation
+	// ranks and caps alternates by. Zero means unknown.
+	Cost float64
+
+	// BottleneckCost is the most expensive single hop of the path at the
+	// reference payload (route.Plan.PathBottleneckOf) — the pacing rate
+	// of a pipelined segment train on this rail. The striper weights each
+	// rail's share by 1/BottleneckCost (falling back to 1/Cost, then
+	// equal shares): two rails whose bottleneck is one bridge each split
+	// evenly no matter how many cheap hops the longer one adds.
+	BottleneckCost float64
 }
 
 // Device is the ch_mad MPICH device of one process. It satisfies
@@ -41,6 +55,12 @@ type Device struct {
 
 	channels []*madeleine.Channel
 	routes   map[int]Route
+	// rails, when a destination has them, is the full ordered set of
+	// edge-disjoint routes toward it (rails[dst][0] == routes[dst]); the
+	// striper spreads large multi-hop rendez-vous bodies across them and
+	// relaying gateways keep stripes on the rail the header's PathID
+	// names. Destinations without an entry have the single primary route.
+	rails map[int][]Route
 
 	// switchPoint is the single eager->rendez-vous threshold the ADI's
 	// MPID_Device structure allows (§4.2.2), elected by ElectSwitchPoint.
@@ -57,25 +77,65 @@ type Device struct {
 	// the original store-and-forward §6 behaviour (ablation/benchmarks).
 	RelayPipelining bool
 
+	// RelayStriping enables striping large multi-hop rendez-vous bodies
+	// across a destination's edge-disjoint rails (on by default; only
+	// takes effect when the routing layer installed more than one rail).
+	// Segments are dealt cost-weighted round-robin, tagged with the rail
+	// index (header PathID), and reassembled by offset at the receiver.
+	RelayStriping bool
+
+	// RelayWindow bounds this device's store-and-forward queue: at most
+	// this many relayed bodies may be held for re-emission concurrently
+	// (the gateway's credit window). Zero keeps the historical unbounded
+	// queue. When the window is full, a relayed rendez-vous REQUEST is
+	// refused with a busy nack (the sender backs off and retries — new
+	// transfers are not admitted through a full gateway) and in-flight
+	// body packets defer the polling thread until a credit frees, which
+	// backpressures the inbound channel. Set before Start.
+	RelayWindow int
+
+	// RelayLossyEager models a bounded relay with lossy overflow: a
+	// relayed eager message arriving at a full gateway is dropped (and
+	// counted under NDropsQueueFull) instead of deferred. Off by default —
+	// the ablation/robustness-test mode, since MPI eager semantics give
+	// the sender no completion to retry from.
+	RelayLossyEager bool
+
 	nextReq  uint32
 	nextSync uint32
 	pending  map[uint32]*adi.SendReq // ReqID -> rndv send awaiting OK
+	retries  map[uint32]int          // ReqID -> busy-nack retry count
 	rndvRx   map[uint32]*rndvState   // SyncID -> matched receive
 
 	stopped bool
 
 	// Counters for tests and experiment reports.
 	NEager, NRndv, NForwarded uint64
-	// RelayBytes counts body bytes this device relayed for other ranks;
-	// NRelayDrops counts relayed messages dropped for lack of an onward
-	// route (rendez-vous requests are additionally nacked back to the
-	// sender; other packet types are silently dropped — see relayNoRoute).
-	RelayBytes  uint64
-	NRelayDrops uint64
+	// RelayBytes counts body bytes this device relayed for other ranks.
+	// NRelayDrops counts relayed messages dropped, broken out by reason:
+	// NDropsNoRoute for lack of an onward route (rendez-vous requests are
+	// additionally nacked back to the sender; other packet types are
+	// silently dropped — see relayNoRoute) and NDropsQueueFull for
+	// admission-control overflow under RelayLossyEager.
+	RelayBytes      uint64
+	NRelayDrops     uint64
+	NDropsNoRoute   uint64
+	NDropsQueueFull uint64
+	// NRelayDeferred counts relayed bodies that had to wait for a relay
+	// credit (the bounded queue was full); NRelayBusy counts rendez-vous
+	// requests refused with a busy nack. NRndvRetries counts this
+	// device's own sends that were busy-nacked and retried.
+	NRelayDeferred uint64
+	NRelayBusy     uint64
+	NRndvRetries   uint64
 	// RelayQueuePeak is the peak number of concurrently outstanding
 	// forward re-emissions — the gateway's store-and-forward queue depth.
+	// With a RelayWindow configured it never exceeds the window.
 	RelayQueuePeak int
 	relayInFlight  int
+	relayParking   int        // polling threads parked (or about to park) for a credit
+	relayCredits   *vtime.Sem // nil when RelayWindow == 0
+	relayHighSince int        // queue-depth high-water since TakeRelayHigh
 }
 
 // rndvState is the receiver-side rendez-vous bookkeeping: the paper's
@@ -101,8 +161,11 @@ func New(p *marcel.Proc, eng *adi.Engine, rank int) *Device {
 		eng:             eng,
 		rank:            rank,
 		RelayPipelining: true,
+		RelayStriping:   true,
 		routes:          make(map[int]Route),
+		rails:           make(map[int][]Route),
 		pending:         make(map[uint32]*adi.SendReq),
+		retries:         make(map[uint32]int),
 		rndvRx:          make(map[uint32]*rndvState),
 	}
 }
@@ -118,8 +181,43 @@ func (d *Device) AddChannel(ch *madeleine.Channel) {
 	d.channels = append(d.channels, ch)
 }
 
-// AddRoute maps a destination world rank to a channel and next-hop node.
-func (d *Device) AddRoute(rank int, r Route) { d.routes[rank] = r }
+// AddRoute maps a destination world rank to a channel and next-hop node
+// (the single primary route; any previously installed rails are replaced).
+func (d *Device) AddRoute(rank int, r Route) {
+	d.routes[rank] = r
+	delete(d.rails, rank)
+}
+
+// SetRails installs the full ordered set of edge-disjoint routes toward a
+// destination: rs[0] becomes the primary route (what Send and control
+// traffic use), the rest are the extra rails the striper spreads large
+// rendez-vous bodies over. Called by the cluster wiring and by adaptive
+// re-plans; an empty rs removes the destination entirely.
+func (d *Device) SetRails(rank int, rs []Route) {
+	if len(rs) == 0 {
+		delete(d.routes, rank)
+		delete(d.rails, rank)
+		return
+	}
+	d.routes[rank] = rs[0]
+	if len(rs) == 1 {
+		delete(d.rails, rank)
+		return
+	}
+	d.rails[rank] = append([]Route(nil), rs...)
+}
+
+// Rails returns every installed route toward a destination, primary
+// first; nil when the destination is unroutable.
+func (d *Device) Rails(rank int) []Route {
+	if rs, ok := d.rails[rank]; ok {
+		return rs
+	}
+	if rt, ok := d.routes[rank]; ok {
+		return []Route{rt}
+	}
+	return nil
+}
 
 // Channels returns the registered channels (for tests and experiments).
 func (d *Device) Channels() []*madeleine.Channel { return d.channels }
@@ -181,9 +279,41 @@ func (d *Device) Start() {
 	if d.switchPoint == 0 {
 		d.ElectSwitchPoint()
 	}
+	if d.RelayWindow > 0 {
+		d.relayCredits = vtime.NewSem(d.proc.S, fmt.Sprintf("ch_mad[%d].relay", d.rank), d.RelayWindow)
+	}
 	for _, ch := range d.channels {
 		ch := ch
 		d.proc.SpawnDaemon("ch_mad.poll."+ch.Name, func() { d.pollLoop(ch) })
+	}
+}
+
+// RelayQueueDepth returns the live pressure on this device's relay queue:
+// bodies currently held for re-emission plus polling threads parked (or
+// about to park) waiting for a credit. The adaptive planner's congestion
+// signal.
+func (d *Device) RelayQueueDepth() int {
+	return d.relayInFlight + d.relayParking
+}
+
+// TakeRelayHigh returns the relay queue-depth high-water mark observed
+// since the previous call (or since Start) and resets it — what a
+// re-plan at a collective boundary feeds into route edge costs.
+func (d *Device) TakeRelayHigh() int {
+	h := d.relayHighSince
+	d.relayHighSince = 0
+	return h
+}
+
+// noteRelayDepth records queue-depth peaks for both the bound check
+// (RelayQueuePeak tracks held bodies only) and the congestion signal
+// (relayHighSince includes parked waiters).
+func (d *Device) noteRelayDepth() {
+	if d.relayInFlight > d.RelayQueuePeak {
+		d.RelayQueuePeak = d.relayInFlight
+	}
+	if depth := d.RelayQueueDepth(); depth > d.relayHighSince {
+		d.relayHighSince = depth
 	}
 }
 
@@ -446,8 +576,13 @@ func (d *Device) inSendOK(ch *madeleine.Channel, conn *madeleine.Connection, h h
 		panic(fmt.Sprintf("ch_mad[%d]: SendOK for unknown request %d", d.rank, h.ReqID))
 	}
 	delete(d.pending, h.ReqID)
+	delete(d.retries, h.ReqID)
 	rt := d.routes[sr.Dst]
 	if d.RelayPipelining && rt.Hops > 1 && rt.SegBytes > 0 && len(sr.Data) > rt.SegBytes {
+		if rails := d.Rails(sr.Dst); d.RelayStriping && len(rails) > 1 {
+			d.sendRndvStriped(sr, rails, h.SyncID)
+			return
+		}
 		d.sendRndvSegmented(sr, rt, h.SyncID)
 		return
 	}
@@ -497,10 +632,100 @@ func (d *Device) sendRndvSegmented(sr *adi.SendReq, rt Route, sync uint32) {
 				Len:     n,
 				SyncID:  sync,
 				Offset:  off,
+				Budget:  rt.Hops,
 			}
 			conn, err := rt.Channel.BeginPacking(rt.NextNode)
 			if err == nil {
 				err = conn.Pack(seg.encode(), madeleine.SendCheaper, madeleine.ReceiveExpress)
+			}
+			if err == nil {
+				err = conn.Pack(sr.Data[off:off+n], madeleine.SendCheaper, madeleine.ReceiveCheaper)
+			}
+			if err == nil {
+				err = conn.EndPacking()
+			}
+			if err != nil {
+				sr.Err = err
+				sr.Done.Fire()
+				return
+			}
+		}
+		sr.Done.Fire()
+	})
+}
+
+// sendRndvStriped stripes a rendez-vous body across the destination's
+// edge-disjoint rails: the body is cut into uniform segments (the
+// smallest rail segment, so every rail's bottleneck constraint holds)
+// dealt to whichever rail has the earliest predicted finish — pipeline
+// fill (Route.Cost - Route.BottleneckCost) plus dealt segments times the
+// bottleneck pace — so two rails with equal bottlenecks converge on an
+// even split regardless of path length, with the first segments biased
+// toward the shorter fill. Each segment's header carries its rail index
+// (PathID) and the rail's hop budget; gateways keep the stripe on the
+// matching budget-fitting rail of their own route set, and the receiver
+// reassembles by offset exactly as for the single-rail pipeline.
+func (d *Device) sendRndvStriped(sr *adi.SendReq, rails []Route, sync uint32) {
+	seg := 0
+	for _, r := range rails {
+		if r.SegBytes > 0 && (seg == 0 || r.SegBytes < seg) {
+			seg = r.SegBytes
+		}
+	}
+	if seg == 0 {
+		seg = rails[0].SegBytes
+	}
+	// Per-rail pacing (the bottleneck hop's cost per segment) and fixed
+	// pipeline fill (the rest of the path): the deal below hands each
+	// segment to the rail with the earliest predicted finish, which
+	// biases the first segments toward the short rail and converges to
+	// bottleneck-proportional shares on long trains.
+	pace := make([]float64, len(rails))
+	fill := make([]float64, len(rails))
+	for i, r := range rails {
+		switch {
+		case r.BottleneckCost > 0:
+			pace[i] = r.BottleneckCost
+		case r.Cost > 0:
+			pace[i] = r.Cost
+		default:
+			pace[i] = 1
+		}
+		if r.Cost > pace[i] {
+			fill[i] = r.Cost - pace[i]
+		}
+	}
+	d.proc.Spawn("ch_mad.rndvstripe", func() {
+		total := len(sr.Data)
+		dealt := make([]float64, len(rails))
+		for off := 0; off < total; off += seg {
+			n := seg
+			if off+n > total {
+				n = total - off
+			}
+			// Earliest-predicted-finish round-robin (deterministic;
+			// identical rails degrade to pure round-robin).
+			rail := 0
+			for i := 1; i < len(rails); i++ {
+				if fill[i]+(dealt[i]+1)*pace[i] < fill[rail]+(dealt[rail]+1)*pace[rail] {
+					rail = i
+				}
+			}
+			dealt[rail]++
+			rt := rails[rail]
+			h := header{
+				Type:    PktRndvSeg,
+				SrcRank: sr.Env.Src,
+				DstRank: sr.Dst,
+				Len:     n,
+				SyncID:  sync,
+				Offset:  off,
+				PathID:  rail,
+				Budget:  rt.Hops,
+			}
+			conn, err := rt.Channel.BeginPacking(rt.NextNode)
+			if err == nil {
+				err = conn.Pack(h.encode(), madeleine.SendCheaper, madeleine.ReceiveExpress)
 			}
 			if err == nil {
 				err = conn.Pack(sr.Data[off:off+n], madeleine.SendCheaper, madeleine.ReceiveCheaper)
@@ -591,10 +816,30 @@ func (d *Device) inRndvSeg(ch *madeleine.Channel, conn *madeleine.Connection, h 
 	adi.FinishRecv(st.r, st.env, lenErr)
 }
 
-// inNack fails a pending rendez-vous send: a gateway on the path had no
-// onward route for the forwarded request (§6 misconfiguration). The
-// error surfaces on the sender's MPI call instead of crashing the
-// simulation. The nack's Tag field carries the unreachable rank.
+// maxRndvRetries bounds the busy-nack retry loop of one rendez-vous
+// send: at the capped backoff this is several virtual seconds of
+// refusals — a gateway that busy for that long is genuinely wedged, and
+// a targeted send error beats hanging to the simulation deadline.
+// retryBackoff is the first retry delay, doubled (capped) per attempt —
+// long enough for a full gateway window to drain a couple of segments.
+// Each sender additionally staggers every backoff by a rank-dependent
+// offset: virtual time has no noise, so identically-refused senders
+// would otherwise retry at the same instants and re-collide in lockstep
+// forever.
+const maxRndvRetries = 256
+
+var (
+	retryBackoff = 200 * vtime.Microsecond
+	retryStagger = 37 * vtime.Microsecond
+)
+
+// inNack handles a relay refusal for a pending rendez-vous send. A
+// NackNoRoute (a gateway on the path had no onward route — §6
+// misconfiguration) fails the send with a proper MPI error instead of
+// crashing the simulation; the Tag field carries the unreachable rank. A
+// NackBusy (admission control: a gateway's bounded relay queue was full)
+// re-issues the request after an exponential backoff — the closed-loop
+// backpressure that keeps a hot gateway's queue from growing unboundedly.
 func (d *Device) inNack(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
 	if err := conn.EndUnpacking(); err != nil {
 		panic(err)
@@ -604,7 +849,57 @@ func (d *Device) inNack(ch *madeleine.Channel, conn *madeleine.Connection, h hea
 	if sr == nil {
 		return // already failed or completed; stale nack
 	}
+	if h.Context == NackBusy {
+		attempt := d.retries[h.ReqID]
+		if attempt >= maxRndvRetries {
+			delete(d.pending, h.ReqID)
+			delete(d.retries, h.ReqID)
+			sr.Err = fmt.Errorf("ch_mad: gateway rank %d relay queue full for rank %d (gave up after %d retries)",
+				h.SrcRank, h.Tag, attempt)
+			sr.Done.Fire()
+			return
+		}
+		d.retries[h.ReqID] = attempt + 1
+		d.NRndvRetries++
+		shift := attempt
+		if shift > 6 {
+			shift = 6
+		}
+		backoff := retryBackoff<<shift + vtime.Duration(d.rank%16)*retryStagger
+		reqID := h.ReqID
+		d.proc.Spawn("ch_mad.rndvretry", func() {
+			d.proc.Sleep(backoff)
+			if d.pending[reqID] != sr {
+				return // completed or failed while backing off
+			}
+			rt, ok := d.routes[sr.Dst]
+			if !ok {
+				delete(d.pending, reqID)
+				delete(d.retries, reqID)
+				sr.Err = fmt.Errorf("ch_mad: rank %d lost its route to rank %d during retry", d.rank, sr.Dst)
+				sr.Done.Fire()
+				return
+			}
+			req := header{
+				Type:    PktRequest,
+				SrcRank: sr.Env.Src,
+				DstRank: sr.Dst,
+				Tag:     sr.Env.Tag,
+				Context: sr.Env.Context,
+				Len:     sr.Env.Len,
+				ReqID:   reqID,
+			}
+			if err := d.sendHeaderOnly(rt, req); err != nil {
+				delete(d.pending, reqID)
+				delete(d.retries, reqID)
+				sr.Err = err
+				sr.Done.Fire()
+			}
+		})
+		return
+	}
 	delete(d.pending, h.ReqID)
+	delete(d.retries, h.ReqID)
 	sr.Err = fmt.Errorf("ch_mad: gateway rank %d has no route to rank %d (forwarding misconfigured)",
 		h.SrcRank, h.Tag)
 	sr.Done.Fire()
@@ -612,37 +907,97 @@ func (d *Device) inNack(ch *madeleine.Channel, conn *madeleine.Connection, h hea
 
 // forward relays a message addressed to another rank toward its
 // destination (the §6 forwarding extension): store-and-forward at the
-// gateway, on a temporary thread.
+// gateway, on a temporary thread. With a RelayWindow configured the
+// store is bounded by a credit window: body packets must take a credit
+// before they are drained off the wire (a full gateway parks the polling
+// thread, backpressuring the inbound channel), and rendez-vous requests
+// are refused with a busy nack instead of admitting a transfer the queue
+// has no room for. Striped segments are re-emitted on the rail their
+// PathID names.
 func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
-	// Drain the incoming message completely (store).
-	var body []byte
+	if h.Budget > 0 {
+		h.Budget-- // one hop of the planned rail consumed by this relay
+	}
+	bodyLen := 0
 	switch h.Type {
 	case PktShort, PktRndv, PktRndvSeg:
 		if h.Len > 0 {
-			n := h.Len
+			bodyLen = h.Len
 			if d.MonolithicEager && h.Type == PktShort {
-				n = d.switchPoint
+				bodyLen = d.switchPoint
 			}
-			body = make([]byte, n)
+		}
+	}
+	drain := func() []byte {
+		var body []byte
+		if bodyLen > 0 {
+			body = make([]byte, bodyLen)
 			if err := conn.Unpack(body, d.eagerBodySendMode(), madeleine.ReceiveCheaper); err != nil {
 				panic(err)
 			}
 		}
+		if err := conn.EndUnpacking(); err != nil {
+			panic(err)
+		}
+		return body
 	}
-	if err := conn.EndUnpacking(); err != nil {
-		panic(err)
-	}
-	d.handling(ch)
-	rt, ok := d.routes[h.DstRank]
+
+	rt, ok := d.railFor(h, conn.Remote)
 	if !ok {
+		drain()
+		d.handling(ch)
 		d.relayNoRoute(h)
 		return
 	}
+
+	holdsCredit := false
+	if d.relayCredits != nil {
+		switch {
+		case h.Type == PktRequest:
+			// Admission control: a full gateway refuses to open a new
+			// rendez-vous through itself — the body would have nowhere to
+			// queue. The sender backs off and retries.
+			if d.RelayQueueDepth() >= d.RelayWindow {
+				if err := conn.EndUnpacking(); err != nil {
+					panic(err)
+				}
+				d.handling(ch)
+				d.NRelayBusy++
+				d.nackSender(h, NackBusy)
+				return
+			}
+		case bodyLen > 0:
+			if !d.relayCredits.TryAcquire() {
+				if d.RelayLossyEager && h.Type == PktShort {
+					drain()
+					d.handling(ch)
+					d.NRelayDrops++
+					d.NDropsQueueFull++
+					return
+				}
+				// Defer: park the polling thread until a credit frees.
+				// The inbound channel stalls behind us — the modeled
+				// backpressure on upstream senders.
+				d.NRelayDeferred++
+				d.relayParking++
+				d.noteRelayDepth()
+				d.relayCredits.Acquire()
+				d.relayParking--
+			}
+			holdsCredit = true
+		}
+	}
+
+	body := drain() // the store: bounded by the credit window
+	d.handling(ch)
 	d.NForwarded++
 	d.RelayBytes += uint64(len(body))
-	d.relayInFlight++
-	if d.relayInFlight > d.RelayQueuePeak {
-		d.RelayQueuePeak = d.relayInFlight
+	// Only stored bodies occupy the store-and-forward queue: header-only
+	// control forwards (SendOK, nacks, admitted requests) hold no buffer
+	// and no credit, so they must not count toward the bounded depth.
+	if bodyLen > 0 {
+		d.relayInFlight++
+		d.noteRelayDepth()
 	}
 	// Re-emit on the outbound channel (forward), off the polling thread.
 	d.proc.Spawn("ch_mad.forward", func() {
@@ -656,9 +1011,81 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 		if err == nil {
 			err = conn2.EndPacking()
 		}
-		d.relayInFlight--
+		if bodyLen > 0 {
+			d.relayInFlight--
+		}
+		if holdsCredit {
+			d.relayCredits.Release()
+		}
 		if err != nil {
 			panic(fmt.Sprintf("ch_mad[%d]: forward: %v", d.rank, err))
+		}
+	})
+}
+
+// railFor picks the onward route for a relayed message without carrying
+// full source routes in the header: prefer the rail matching the
+// stripe's PathID, but never one that hands the message straight back to
+// the node it came from, and — when the segment carries a hop budget —
+// never one whose path is longer than the budget the planned rail has
+// left. Under a stable plan the budget check keeps a stripe on a
+// *suffix* of its planned rail: a gateway whose PathID-indexed rail is a
+// detour (its own alternates need not mirror the sender's) falls back to
+// a rail that still fits, ultimately the direct hop, so the segment
+// never takes more hops than its rail was planned with. If a mid-flight
+// Replan swapped the rails out from under an in-flight stripe, no rail
+// may fit the stale budget (or every rail may backtrack); delivery then
+// beats purity — the shortest non-backtracking rail, or as a last resort
+// the preferred rail, carries the segment at the price of extra hops.
+func (d *Device) railFor(h header, from string) (Route, bool) {
+	rails := d.Rails(h.DstRank)
+	if len(rails) == 0 {
+		return Route{}, false
+	}
+	pref := h.PathID % len(rails)
+	fits := func(rt Route) bool {
+		return h.Budget <= 0 || rt.Hops <= h.Budget
+	}
+	if rt := rails[pref]; rt.NextNode != from && fits(rt) {
+		return rt, true
+	}
+	for _, rt := range rails {
+		if rt.NextNode != from && fits(rt) {
+			return rt, true
+		}
+	}
+	// Replan transient: no rail honors the stale budget. Take the most
+	// direct escape that at least avoids the immediate sender.
+	best, found := Route{}, false
+	for _, rt := range rails {
+		if rt.NextNode != from && (!found || rt.Hops < best.Hops) {
+			best, found = rt, true
+		}
+	}
+	if found {
+		return best, true
+	}
+	return rails[pref], true
+}
+
+// nackSender refuses a relayed rendez-vous request back to its sender
+// with the given reason code (carried in the nack's Context field).
+func (d *Device) nackSender(h header, reason int) {
+	back, ok := d.routes[h.SrcRank]
+	if !ok {
+		return // cannot even reach the sender; the counters record it
+	}
+	nack := header{
+		Type:    PktNack,
+		SrcRank: d.rank,
+		DstRank: h.SrcRank,
+		Tag:     h.DstRank, // the refused rank, for the error message
+		Context: reason,
+		ReqID:   h.ReqID,
+	}
+	d.proc.Spawn("ch_mad.nack", func() {
+		if err := d.sendHeaderOnly(back, nack); err != nil {
+			panic(fmt.Sprintf("ch_mad[%d]: nack: %v", d.rank, err))
 		}
 	})
 }
@@ -671,25 +1098,11 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 // hung receive under a broken topology beats crashing every rank.
 func (d *Device) relayNoRoute(h header) {
 	d.NRelayDrops++
+	d.NDropsNoRoute++
 	if h.Type != PktRequest {
 		return
 	}
-	back, ok := d.routes[h.SrcRank]
-	if !ok {
-		return // cannot even reach the sender; the drop counter records it
-	}
-	nack := header{
-		Type:    PktNack,
-		SrcRank: d.rank,
-		DstRank: h.SrcRank,
-		Tag:     h.DstRank, // the unreachable rank, for the error message
-		ReqID:   h.ReqID,
-	}
-	d.proc.Spawn("ch_mad.nack", func() {
-		if err := d.sendHeaderOnly(back, nack); err != nil {
-			panic(fmt.Sprintf("ch_mad[%d]: nack: %v", d.rank, err))
-		}
-	})
+	d.nackSender(h, NackNoRoute)
 }
 
 // SendTerm emits a MAD_TERM_PKT to a neighbour's channel, terminating its

@@ -40,11 +40,25 @@ const (
 	// independently, so segment k+1 is in flight on the inbound hop while
 	// segment k is already being re-emitted outbound.
 	PktRndvSeg
-	// PktNack reports a relay failure back to the original sender: a
-	// gateway had no route for a forwarded rendez-vous request. Carries
-	// the request id so the sender can fail that send with an MPI error
-	// instead of the whole simulation crashing.
+	// PktNack reports a relay refusal back to the original sender of a
+	// rendez-vous request. Carries the request id plus a reason code in
+	// the Context field: NackNoRoute (a gateway had no onward route; the
+	// sender fails that send with an MPI error instead of the whole
+	// simulation crashing) or NackBusy (admission control: the gateway's
+	// bounded relay queue is full; the sender backs off and retries).
 	PktNack
+)
+
+// PktNack reason codes, carried in the header's Context field (a nack
+// never carries an MPI context).
+const (
+	// NackNoRoute: the relaying gateway has no onward route (misconfigured
+	// multi-hop topology). Fatal for the send.
+	NackNoRoute = 0
+	// NackBusy: the relaying gateway's store-and-forward queue is at its
+	// credit bound and refused to admit a new rendez-vous transfer. The
+	// sender retries after a backoff.
+	NackBusy = 1
 )
 
 func pktName(t int) string {
@@ -82,10 +96,21 @@ type header struct {
 	ReqID   uint32 // sender-side rendez-vous request id
 	SyncID  uint32 // receiver-side sync_address (MPID_RNDV_T)
 	Offset  int    // byte offset of a pipelined RNDV segment (PktRndvSeg)
+	PathID  int    // rail tag of a striped RNDV segment: which of the
+	// sender's edge-disjoint paths this segment rides; relaying gateways
+	// use it to keep the stripe on the matching rail of their own route
+	// set (0 = primary path, the only value non-striped traffic carries)
+	Budget int // remaining hop budget of a routed segment: the sender
+	// stamps the rail's planned path length and every relay decrements,
+	// so a gateway only continues a stripe on a rail that fits the
+	// remaining budget — under a stable plan a stripe stays on a suffix
+	// of its planned rail and never takes extra hops (a mid-flight
+	// Replan may strand a stale budget; railFor then degrades to the
+	// most direct deliverable rail). 0 = no budget: primary-rail routing.
 }
 
 // HeaderSize is the wire size of the ch_mad header block.
-const HeaderSize = 1 + 5*4 + 2*4 + 4
+const HeaderSize = 1 + 5*4 + 2*4 + 4 + 2
 
 func (h *header) encode() []byte {
 	buf := make([]byte, HeaderSize)
@@ -99,6 +124,8 @@ func (h *header) encode() []byte {
 	le.PutUint32(buf[21:], h.ReqID)
 	le.PutUint32(buf[25:], h.SyncID)
 	le.PutUint32(buf[29:], uint32(int32(h.Offset)))
+	buf[33] = byte(h.PathID)
+	buf[34] = byte(h.Budget)
 	return buf
 }
 
@@ -117,6 +144,8 @@ func decodeHeader(buf []byte) (header, error) {
 		ReqID:   le.Uint32(buf[21:]),
 		SyncID:  le.Uint32(buf[25:]),
 		Offset:  int(int32(le.Uint32(buf[29:]))),
+		PathID:  int(buf[33]),
+		Budget:  int(buf[34]),
 	}, nil
 }
 

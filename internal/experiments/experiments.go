@@ -631,6 +631,7 @@ func All() ([]*Result, error) {
 		Forwarding,
 		HierCollectives,
 		GatewayCollectives,
+		AdaptiveMultipath,
 	}
 	for _, g := range gens {
 		r, err := g()
@@ -675,6 +676,8 @@ func ByID(id string) (*Result, error) {
 		return HierCollectives()
 	case "gateway":
 		return GatewayCollectives()
+	case "adaptive":
+		return AdaptiveMultipath()
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q (see DESIGN.md experiment index)", id)
 }

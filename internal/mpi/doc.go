@@ -74,6 +74,43 @@
 // injections, trading the per-bundle rendez-vous handshakes for
 // overlapped staging and transfer.
 //
+// # Adaptive re-routing, striping, and admission control
+//
+// Since the multi-path refactor the route->relay->collective stack is a
+// closed loop rather than a static plan:
+//
+//   - Multi-path planning: the planner computes up to K edge-disjoint
+//     paths per pair (route.Options.MaxPaths; 2 by default on forwarded
+//     topologies), and the cluster wiring installs them as rails on the
+//     device. Large multi-hop rendez-vous bodies are striped across the
+//     rails — segments are dealt to the rail with the earliest predicted
+//     finish (pipeline fill + segments x bottleneck-hop cost, so a
+//     one-bridge rail and a two-bridge detour split near-evenly once the
+//     pipelines are full), tagged with their rail (header PathID) so
+//     relaying gateways keep each stripe on the matching, non-backtracking
+//     rail, and reassembled by offset at the receiver. On the bridged
+//     triangle this roughly doubles forwarded bandwidth (>= 1.5x at
+//     64 KiB, ~2x at 1 MiB — gated by cmd/benchcheck).
+//   - Adaptive re-routing: cluster.Session.Replan feeds every gateway's
+//     relay-queue high-water mark (Session.RelayStats' source counters)
+//     back into the edge costs as a congestion term and recomputes the
+//     plan, so a hot bridge prices itself out and traffic shifts to the
+//     parallel rails. Replanning happens only when the application calls
+//     it at a quiescent collective boundary — schedules stay
+//     deterministic within a run. Routes update immediately (routing is
+//     per message); leaders are re-elected from the new plan and
+//     Process.RefreshHierarchy invalidates the world communicator's
+//     cached topology so the next collective compiles against them.
+//   - Gateway admission control: each relay's store-and-forward queue is
+//     bounded by a credit window (core.Device.RelayWindow, set from
+//     cluster.Topology.RelayWindow). A body packet must hold a credit
+//     while stored; at a full gateway the polling thread parks until one
+//     frees (backpressuring the inbound channel), and a relayed
+//     rendez-vous REQUEST is refused with a busy nack — the sender backs
+//     off exponentially and retries, so a transfer is only admitted when
+//     the gateway can hold it. Drops (lossy-eager ablation, routing
+//     holes) are counted by reason in stats.RelayTable.
+//
 // # The MPI_Init autotuner
 //
 // Process.Autotune (or cluster.Topology.Autotune) replaces the analytic

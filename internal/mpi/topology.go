@@ -74,6 +74,21 @@ func (h *Hierarchy) NumClusters() int { return len(h.ClusterNames) }
 // nil (the default) keeps every collective on the flat algorithms.
 func (p *Process) SetHierarchy(h *Hierarchy) { p.hier = h }
 
+// RefreshHierarchy reinstalls a (possibly re-elected) cluster structure
+// mid-run and invalidates the world communicator's cached dense view, so
+// the next collective compiles against the new leaders and backbone
+// estimate — how an adaptive re-plan (cluster.Session.Replan) propagates
+// between collective rounds. Must be called on every rank at a quiescent
+// point (all ranks share the Hierarchy value, so agreement is free);
+// sub-communicators created before the refresh keep their frozen view,
+// preserving the MPI same-order rule for schedules already compiled.
+func (p *Process) RefreshHierarchy(h *Hierarchy) {
+	p.hier = h
+	if p.World != nil {
+		p.World.ct = nil
+	}
+}
+
 // Hierarchy returns the installed cluster structure (nil if none).
 func (p *Process) Hierarchy() *Hierarchy { return p.hier }
 

@@ -96,20 +96,37 @@ func (p *Process) TuneSnapshot() []TuneChoice {
 // hash — and every rank must load the same rows, mirroring the broadcast
 // agreement of a live sweep. Costs no virtual time.
 func (p *Process) LoadTuneTable(choices []TuneChoice) error {
+	if err := ValidateTuneChoices(choices); err != nil {
+		return fmt.Errorf("mpi: LoadTuneTable: %w", err)
+	}
 	tt := &tuneTable{rows: make(map[collKind][]tuneRow)}
 	for _, tc := range choices {
-		kind, ok := kindByName(tc.Op)
-		if !ok {
-			return fmt.Errorf("mpi: LoadTuneTable: unknown operation %q", tc.Op)
-		}
-		algo, ok := algoByName(tc.Algo)
-		if !ok {
-			return fmt.Errorf("mpi: LoadTuneTable: unknown algorithm %q", tc.Algo)
-		}
+		kind, _ := kindByName(tc.Op) // validated above
+		algo, _ := algoByName(tc.Algo)
 		tt.rows[kind] = append(tt.rows[kind], tuneRow{maxBytes: tc.MaxBytes, algo: algo})
 	}
 	p.tuned = tt
 	p.World.tt, p.World.ttSet = tt, true
+	return nil
+}
+
+// ValidateTuneChoices reports whether an exported crossover table could
+// be installed by LoadTuneTable: every row must name a known operation
+// and algorithm and carry a positive bracket bound. The persistence
+// layer's sanity check — a cache deserialized from disk drops tables
+// failing it instead of failing every session that loads them.
+func ValidateTuneChoices(choices []TuneChoice) error {
+	for _, tc := range choices {
+		if _, ok := kindByName(tc.Op); !ok {
+			return fmt.Errorf("mpi: tune table: unknown operation %q", tc.Op)
+		}
+		if _, ok := algoByName(tc.Algo); !ok {
+			return fmt.Errorf("mpi: tune table: unknown algorithm %q", tc.Algo)
+		}
+		if tc.MaxBytes <= 0 {
+			return fmt.Errorf("mpi: tune table: non-positive bracket %d for %s", tc.MaxBytes, tc.Op)
+		}
+	}
 	return nil
 }
 

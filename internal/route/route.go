@@ -14,9 +14,24 @@
 // slow bridge, and an uncontended bridge over a contended one, which is
 // what gateway-aware leader election needs.
 //
+// Since the multi-path refactor the planner is no longer single-path or
+// open-loop:
+//
+//   - Options.MaxPaths > 1 computes up to K edge-disjoint paths per
+//     ordered pair (Paths): path 0 is the shortest-cost primary, each
+//     alternate is the shortest path avoiding every (pair, network) edge
+//     the earlier paths used. On a bridged triangle the third side
+//     becomes a real second rail the device can stripe over.
+//   - Options.Congestion feeds observed relay load back into the edge
+//     costs: every hop that would relay *through* a congested rank is
+//     charged that rank's congestion term, so a re-plan at a collective
+//     boundary steers traffic around a hot gateway instead of queueing
+//     behind it.
+//
 // The planner is deterministic: ties break toward the lower rank and the
 // lexicographically smaller network name, so every session wires
-// identical routes for identical topologies.
+// identical routes for identical topologies (and identical congestion
+// observations).
 package route
 
 import (
@@ -37,6 +52,23 @@ type Graph struct {
 	N      int
 	NetsOf [][]string
 	Nets   map[string]netsim.Params
+}
+
+// Options parameterize a plan beyond the graph itself.
+type Options struct {
+	// RefBytes is the reference payload for edge costs
+	// (DefaultRefBytes when <= 0).
+	RefBytes int
+	// MaxPaths is the number of edge-disjoint paths to expose per ordered
+	// pair (Paths); values < 1 mean 1 (the classic single-path planner).
+	MaxPaths int
+	// Congestion, when non-nil, is the observed relay congestion of each
+	// rank in seconds (typically relay queue depth x one reference-payload
+	// hop time, supplied by the cluster session from Session.RelayStats).
+	// Every hop *leaving* a congested rank that is not the path's source —
+	// i.e. every hop that would relay through it — is charged the term, so
+	// hot gateways price themselves out of new paths.
+	Congestion []float64
 }
 
 // Hop is one step of a routed path: the rank the hop lands on and the
@@ -62,35 +94,69 @@ func HopCost(p netsim.Params, nBytes int) float64 {
 	return cost
 }
 
+// edgeKey identifies an undirected pair edge on one network, for the
+// edge-disjoint alternate search.
+type edgeKey struct {
+	lo, hi int
+	net    string
+}
+
+func keyOf(a, b int, net string) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{lo: a, hi: b, net: net}
+}
+
 // Plan is the computed routing: per-source shortest-cost trees over the
-// proc graph, queryable per ordered pair.
+// proc graph, queryable per ordered pair, plus up to MaxPaths
+// edge-disjoint alternates per pair.
 type Plan struct {
-	n        int
-	ref      int
-	nets     map[string]netsim.Params
-	netNames []string // sorted, for deterministic iteration
-	netCost  map[string]float64
-	attached []map[string]bool
-	prev     [][]int    // prev[src][v]: predecessor of v on the path from src (-1 at src, -2 unreachable)
-	prevNet  [][]string // prevNet[src][v]: network carrying prev[src][v] -> v
-	dist     [][]float64
+	n          int
+	ref        int
+	maxPaths   int
+	congestion []float64
+	nets       map[string]netsim.Params
+	netNames   []string // sorted, for deterministic iteration
+	netCost    map[string]float64
+	attached   []map[string]bool
+	prev       [][]int    // prev[src][v]: predecessor of v on the path from src (-1 at src, -2 unreachable)
+	prevNet    [][]string // prevNet[src][v]: network carrying prev[src][v] -> v
+	dist       [][]float64
+
+	alt map[[2]int][][]Hop // lazily computed disjoint path sets per pair
 }
 
 // Compute plans all-pairs shortest-cost paths at the given reference
-// payload size (DefaultRefBytes when refBytes <= 0). Runs Dijkstra from
-// every source; topologies are small (ranks, not hosts), so the dense
-// O(N^3) is fine.
+// payload size (DefaultRefBytes when refBytes <= 0) with the classic
+// single-path, congestion-free options.
 func Compute(g Graph, refBytes int) *Plan {
-	if refBytes <= 0 {
-		refBytes = DefaultRefBytes
+	return ComputeOpts(g, Options{RefBytes: refBytes})
+}
+
+// ComputeOpts plans all-pairs shortest-cost paths under the given options.
+// Runs Dijkstra from every source; topologies are small (ranks, not
+// hosts), so the dense O(N^3) is fine.
+func ComputeOpts(g Graph, opts Options) *Plan {
+	if opts.RefBytes <= 0 {
+		opts.RefBytes = DefaultRefBytes
+	}
+	if opts.MaxPaths < 1 {
+		opts.MaxPaths = 1
 	}
 	p := &Plan{
-		n:       g.N,
-		ref:     refBytes,
-		nets:    g.Nets,
-		prev:    make([][]int, g.N),
-		prevNet: make([][]string, g.N),
-		dist:    make([][]float64, g.N),
+		n:        g.N,
+		ref:      opts.RefBytes,
+		maxPaths: opts.MaxPaths,
+		nets:     g.Nets,
+		prev:     make([][]int, g.N),
+		prevNet:  make([][]string, g.N),
+		dist:     make([][]float64, g.N),
+		alt:      make(map[[2]int][][]Hop),
+	}
+	if opts.Congestion != nil {
+		p.congestion = make([]float64, g.N)
+		copy(p.congestion, opts.Congestion)
 	}
 
 	// Per-network cost at the reference size, and the cheapest edge between
@@ -98,7 +164,7 @@ func Compute(g Graph, refBytes int) *Plan {
 	netCost := make(map[string]float64, len(g.Nets))
 	names := make([]string, 0, len(g.Nets))
 	for name, params := range g.Nets {
-		netCost[name] = HopCost(params, refBytes)
+		netCost[name] = HopCost(params, opts.RefBytes)
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -110,60 +176,72 @@ func Compute(g Graph, refBytes int) *Plan {
 		}
 	}
 	p.netNames, p.netCost, p.attached = names, netCost, attached
-	edge := p.DirectEdge
 
-	const unreached = -2
 	for src := 0; src < g.N; src++ {
-		dist := make([]float64, g.N)
-		prev := make([]int, g.N)
-		prevNet := make([]string, g.N)
-		done := make([]bool, g.N)
-		for i := range prev {
-			prev[i] = unreached
-			dist[i] = -1
-		}
-		dist[src], prev[src] = 0, -1
-		for {
-			cur := -1
-			for v := 0; v < g.N; v++ {
-				if done[v] || prev[v] == unreached {
-					continue
-				}
-				if cur == -1 || dist[v] < dist[cur] {
-					cur = v // ties keep the lower rank: v ascends
-				}
-			}
-			if cur == -1 {
-				break
-			}
-			done[cur] = true
-			for v := 0; v < g.N; v++ {
-				if v == cur || done[v] {
-					continue
-				}
-				nm, c, ok := edge(cur, v)
-				if !ok {
-					continue
-				}
-				nd := dist[cur] + c
-				if prev[v] == unreached || nd < dist[v] ||
-					(nd == dist[v] && cur < prev[v]) {
-					dist[v], prev[v], prevNet[v] = nd, cur, nm
-				}
-			}
-		}
-		p.dist[src], p.prev[src], p.prevNet[src] = dist, prev, prevNet
+		p.dist[src], p.prev[src], p.prevNet[src] = p.shortestFrom(src, nil)
 	}
 	return p
 }
 
-// DirectEdge returns the cheapest network both procs are attached to and
-// its hop cost at the reference payload; ok=false when they share none.
-// Single-hop fallback for sessions without gateway forwarding, where the
-// planner's multi-hop preference cannot be honored.
-func (p *Plan) DirectEdge(a, b int) (net string, cost float64, ok bool) {
+const unreached = -2
+
+// shortestFrom runs one deterministic Dijkstra from src, skipping banned
+// (pair, network) edges. Every hop leaving a non-source rank additionally
+// pays that rank's congestion term — the relay feedback.
+func (p *Plan) shortestFrom(src int, banned map[edgeKey]bool) (dist []float64, prev []int, prevNet []string) {
+	dist = make([]float64, p.n)
+	prev = make([]int, p.n)
+	prevNet = make([]string, p.n)
+	done := make([]bool, p.n)
+	for i := range prev {
+		prev[i] = unreached
+		dist[i] = -1
+	}
+	dist[src], prev[src] = 0, -1
+	for {
+		cur := -1
+		for v := 0; v < p.n; v++ {
+			if done[v] || prev[v] == unreached {
+				continue
+			}
+			if cur == -1 || dist[v] < dist[cur] {
+				cur = v // ties keep the lower rank: v ascends
+			}
+		}
+		if cur == -1 {
+			break
+		}
+		done[cur] = true
+		relay := 0.0
+		if cur != src && p.congestion != nil {
+			relay = p.congestion[cur] // cur would store-and-forward this hop
+		}
+		for v := 0; v < p.n; v++ {
+			if v == cur || done[v] {
+				continue
+			}
+			nm, c, ok := p.cheapestEdge(cur, v, banned)
+			if !ok {
+				continue
+			}
+			nd := dist[cur] + c + relay
+			if prev[v] == unreached || nd < dist[v] ||
+				(nd == dist[v] && cur < prev[v]) {
+				dist[v], prev[v], prevNet[v] = nd, cur, nm
+			}
+		}
+	}
+	return dist, prev, prevNet
+}
+
+// cheapestEdge returns the cheapest non-banned network both procs are
+// attached to and its hop cost at the reference payload.
+func (p *Plan) cheapestEdge(a, b int, banned map[edgeKey]bool) (net string, cost float64, ok bool) {
 	for _, nm := range p.netNames {
 		if !p.attached[a][nm] || !p.attached[b][nm] {
+			continue
+		}
+		if banned != nil && banned[keyOf(a, b, nm)] {
 			continue
 		}
 		if c := p.netCost[nm]; !ok || c < cost {
@@ -173,19 +251,41 @@ func (p *Plan) DirectEdge(a, b int) (net string, cost float64, ok bool) {
 	return net, cost, ok
 }
 
+// DirectEdge returns the cheapest network both procs are attached to and
+// its hop cost at the reference payload; ok=false when they share none.
+// Single-hop fallback for sessions without gateway forwarding, where the
+// planner's multi-hop preference cannot be honored.
+func (p *Plan) DirectEdge(a, b int) (net string, cost float64, ok bool) {
+	return p.cheapestEdge(a, b, nil)
+}
+
 // N returns the number of procs planned over.
 func (p *Plan) N() int { return p.n }
 
 // RefBytes returns the reference payload the edge costs were taken at.
 func (p *Plan) RefBytes() int { return p.ref }
 
+// MaxPaths returns the number of edge-disjoint paths the plan exposes per
+// pair (1 for the classic single-path planner).
+func (p *Plan) MaxPaths() int { return p.maxPaths }
+
+// CongestionOf returns the congestion term the plan was computed with for
+// a rank (0 when none was supplied).
+func (p *Plan) CongestionOf(rank int) float64 {
+	if p.congestion == nil {
+		return 0
+	}
+	return p.congestion[rank]
+}
+
 // Routable reports whether dst is reachable from src.
 func (p *Plan) Routable(src, dst int) bool {
 	return src == dst || p.prev[src][dst] != -2
 }
 
-// Cost returns the path cost in seconds at the reference payload;
-// ok=false when unroutable.
+// Cost returns the path cost in seconds at the reference payload
+// (including any congestion terms the plan was computed with); ok=false
+// when unroutable.
 func (p *Plan) Cost(src, dst int) (float64, bool) {
 	if !p.Routable(src, dst) {
 		return 0, false
@@ -202,15 +302,55 @@ func (p *Plan) Path(src, dst int) ([]Hop, bool) {
 	if !p.Routable(src, dst) {
 		return nil, false
 	}
+	return p.pathFrom(p.prev[src], p.prevNet[src], src, dst), true
+}
+
+// pathFrom reconstructs the src->dst hop list from one Dijkstra result.
+func (p *Plan) pathFrom(prev []int, prevNet []string, src, dst int) []Hop {
 	var rev []Hop
-	for v := dst; v != src; v = p.prev[src][v] {
-		rev = append(rev, Hop{Rank: v, Net: p.prevNet[src][v]})
+	for v := dst; v != src; v = prev[v] {
+		rev = append(rev, Hop{Rank: v, Net: prevNet[v]})
 	}
 	hops := make([]Hop, len(rev))
 	for i := range rev {
 		hops[i] = rev[len(rev)-1-i]
 	}
-	return hops, true
+	return hops
+}
+
+// Paths returns up to MaxPaths edge-disjoint paths from src to dst, most
+// preferred first: paths[0] is the primary shortest-cost path, each
+// alternate is the shortest path over the graph with every (pair, network)
+// edge of the earlier paths removed. nil, false when unroutable; nil, true
+// for src == dst. With MaxPaths == 1 it is Path in a slice.
+func (p *Plan) Paths(src, dst int) ([][]Hop, bool) {
+	if src == dst {
+		return nil, true
+	}
+	if !p.Routable(src, dst) {
+		return nil, false
+	}
+	key := [2]int{src, dst}
+	if cached, ok := p.alt[key]; ok {
+		return cached, true
+	}
+	primary := p.pathFrom(p.prev[src], p.prevNet[src], src, dst)
+	paths := [][]Hop{primary}
+	banned := make(map[edgeKey]bool)
+	for len(paths) < p.maxPaths {
+		at := src
+		for _, h := range paths[len(paths)-1] {
+			banned[keyOf(at, h.Rank, h.Net)] = true
+			at = h.Rank
+		}
+		_, prev, prevNet := p.shortestFrom(src, banned)
+		if prev[dst] == unreached {
+			break // the residual graph disconnects: no further disjoint rail
+		}
+		paths = append(paths, p.pathFrom(prev, prevNet, src, dst))
+	}
+	p.alt[key] = paths
+	return paths, true
 }
 
 // Hops returns the path length from src to dst (1 = direct neighbours,
@@ -235,17 +375,38 @@ func (p *Plan) NextHop(src, dst int) (hop int, net string, ok bool) {
 
 // PathCost re-evaluates the path's cost at an arbitrary payload size
 // (the planner picked the path at the reference size); ok=false when
-// unroutable.
+// unroutable. Congestion terms are not included: this is the wire cost of
+// the chosen path.
 func (p *Plan) PathCost(src, dst, nBytes int) (float64, bool) {
 	hops, ok := p.Path(src, dst)
 	if !ok {
 		return 0, false
 	}
+	return p.PathCostOf(hops, nBytes), true
+}
+
+// PathCostOf evaluates the wire cost of an explicit hop list at a payload
+// size (used to weight stripe rails and rank alternates).
+func (p *Plan) PathCostOf(hops []Hop, nBytes int) float64 {
 	total := 0.0
 	for _, h := range hops {
 		total += HopCost(p.nets[h.Net], nBytes)
 	}
-	return total, true
+	return total
+}
+
+// PathBottleneckOf returns the most expensive single hop of a path at a
+// payload size — the pacing rate of a pipelined segment train riding it
+// (the other hops only contribute pipeline fill). Rail striping weights
+// each rail's share by the inverse of this, not of the full path cost.
+func (p *Plan) PathBottleneckOf(hops []Hop, nBytes int) float64 {
+	worst := 0.0
+	for _, h := range hops {
+		if c := HopCost(p.nets[h.Net], nBytes); c > worst {
+			worst = c
+		}
+	}
+	return worst
 }
 
 // PathSegment recommends the relay pipelining segment for the src->dst
@@ -253,7 +414,16 @@ func (p *Plan) PathCost(src, dst, nBytes int) (float64, bool) {
 // bottleneck hop paces the pipeline); 0 when unroutable or direct.
 func (p *Plan) PathSegment(src, dst int) int {
 	hops, ok := p.Path(src, dst)
-	if !ok || len(hops) < 2 {
+	if !ok {
+		return 0
+	}
+	return p.PathSegmentOf(hops)
+}
+
+// PathSegmentOf is PathSegment for an explicit hop list; 0 for direct
+// (single-hop) paths.
+func (p *Plan) PathSegmentOf(hops []Hop) int {
+	if len(hops) < 2 {
 		return 0
 	}
 	seg := 0

@@ -144,6 +144,169 @@ func TestPlanDeterministic(t *testing.T) {
 	}
 }
 
+// triangleGraph mirrors the bridged-triangle benchmark topology: three
+// islands (SCI, SCI, Myrinet) chained by TCP bridges on all three sides.
+// Ranks: a0..a2 = 0..2, b0..b2 = 3..5, c0..c2 = 6..8; bridge endpoints
+// a2-b1 (gwAB), b2-c1 (gwBC), a1-c0 (gwCA).
+func triangleGraph() Graph {
+	return Graph{
+		N: 9,
+		NetsOf: [][]string{
+			{"sciA"}, {"sciA", "gwCA"}, {"sciA", "gwAB"},
+			{"sciB"}, {"sciB", "gwAB"}, {"sciB", "gwBC"},
+			{"myriC", "gwCA"}, {"myriC", "gwBC"}, {"myriC"},
+		},
+		Nets: map[string]netsim.Params{
+			"sciA":  netsim.SCISISCI(),
+			"sciB":  netsim.SCISISCI(),
+			"myriC": netsim.MyrinetBIP(),
+			"gwAB":  netsim.FastEthernetTCP(),
+			"gwBC":  netsim.FastEthernetTCP(),
+			"gwCA":  netsim.FastEthernetTCP(),
+		},
+	}
+}
+
+// edgeSet collects the (pair, net) edges of a path starting at src.
+func edgeSet(src int, hops []Hop) map[edgeKey]bool {
+	set := make(map[edgeKey]bool)
+	at := src
+	for _, h := range hops {
+		set[keyOf(at, h.Rank, h.Net)] = true
+		at = h.Rank
+	}
+	return set
+}
+
+// TestDisjointPathsTriangle: on the bridged triangle, the multi-path plan
+// exposes two edge-disjoint rails between the far corners — the direct
+// third-side bridge as the primary and the two-bridge detour through the
+// middle island as the second rail.
+func TestDisjointPathsTriangle(t *testing.T) {
+	plan := ComputeOpts(triangleGraph(), Options{MaxPaths: 2})
+	paths, ok := plan.Paths(0, 8)
+	if !ok || len(paths) != 2 {
+		t.Fatalf("Paths(0,8): ok=%v, %d paths, want 2", ok, len(paths))
+	}
+	// Primary: a0 -> a1 -> c0 -> c2 over the single gwCA bridge.
+	if len(paths[0]) != 3 {
+		t.Fatalf("primary path %v, want 3 hops via gwCA", paths[0])
+	}
+	// Alternate: a0 -> a2 -> b1 -> b2 -> c1 -> c2 over both other bridges.
+	if len(paths[1]) != 5 {
+		t.Fatalf("alternate path %v, want 5 hops via gwAB+gwBC", paths[1])
+	}
+	e0, e1 := edgeSet(0, paths[0]), edgeSet(0, paths[1])
+	for k := range e0 {
+		if e1[k] {
+			t.Fatalf("paths share edge %+v", k)
+		}
+	}
+	// Path 0 must be the plain shortest path.
+	single, _ := plan.Path(0, 8)
+	if !reflect.DeepEqual(single, paths[0]) {
+		t.Fatalf("paths[0] = %v, Path = %v", paths[0], single)
+	}
+	// Both rails end at the destination.
+	for i, hops := range paths {
+		if hops[len(hops)-1].Rank != 8 {
+			t.Fatalf("rail %d ends at %d", i, hops[len(hops)-1].Rank)
+		}
+	}
+}
+
+// TestCongestionRoutesAround: charging the primary rail's gateway with a
+// congestion term steers the shortest path onto the other rail, and an
+// uncongested re-plan restores it — the adaptive re-routing feedback loop.
+func TestCongestionRoutesAround(t *testing.T) {
+	g := triangleGraph()
+	base := ComputeOpts(g, Options{MaxPaths: 2})
+	hops, _ := base.Path(0, 8)
+	usesGW := func(hops []Hop, rank int) bool {
+		for _, h := range hops[:len(hops)-1] {
+			if h.Rank == rank {
+				return true
+			}
+		}
+		return false
+	}
+	if !usesGW(hops, 1) {
+		t.Fatalf("baseline path %v should relay through rank 1 (gwCA)", hops)
+	}
+	// Congest both gwCA endpoints heavily (10 ms each).
+	cong := make([]float64, g.N)
+	cong[1], cong[6] = 10e-3, 10e-3
+	adapted := ComputeOpts(g, Options{MaxPaths: 2, Congestion: cong})
+	ahops, _ := adapted.Path(0, 8)
+	if usesGW(ahops, 1) || usesGW(ahops, 6) {
+		t.Fatalf("adapted path %v still relays through the hot gwCA gateways", ahops)
+	}
+	if c, _ := adapted.Cost(0, 8); c <= 0 {
+		t.Fatalf("adapted cost = %g", c)
+	}
+	if back := ComputeOpts(g, Options{MaxPaths: 2}); !reflect.DeepEqual(mustPath(t, back, 0, 8), hops) {
+		t.Fatal("uncongested re-plan did not restore the primary rail")
+	}
+}
+
+func mustPath(t *testing.T, p *Plan, s, d int) []Hop {
+	t.Helper()
+	hops, ok := p.Path(s, d)
+	if !ok {
+		t.Fatalf("no path %d->%d", s, d)
+	}
+	return hops
+}
+
+// TestPathsDisjointProperty: on random graphs, every pair's path set is
+// pairwise edge-disjoint, path 0 equals the single-path answer, every
+// path terminates at the destination, and the computation is
+// deterministic.
+func TestPathsDisjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 40; iter++ {
+		n := rng.Intn(7) + 2
+		g := randomGraph(rng, n)
+		k := rng.Intn(3) + 1
+		plan := ComputeOpts(g, Options{MaxPaths: k})
+		again := ComputeOpts(g, Options{MaxPaths: k})
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				paths, ok := plan.Paths(s, d)
+				paths2, ok2 := again.Paths(s, d)
+				if ok != ok2 || !reflect.DeepEqual(paths, paths2) {
+					t.Fatalf("iter %d: Paths(%d,%d) nondeterministic", iter, s, d)
+				}
+				if !ok {
+					continue
+				}
+				if len(paths) == 0 || len(paths) > k {
+					t.Fatalf("iter %d: %d paths for k=%d", iter, len(paths), k)
+				}
+				single, _ := plan.Path(s, d)
+				if !reflect.DeepEqual(single, paths[0]) {
+					t.Fatalf("iter %d: paths[0] != Path(%d,%d)", iter, s, d)
+				}
+				seen := make(map[edgeKey]bool)
+				for pi, hops := range paths {
+					if hops[len(hops)-1].Rank != d {
+						t.Fatalf("iter %d: path %d of (%d,%d) ends at %d", iter, pi, s, d, hops[len(hops)-1].Rank)
+					}
+					for k2 := range edgeSet(s, hops) {
+						if seen[k2] {
+							t.Fatalf("iter %d: pair (%d,%d) reuses edge %+v", iter, s, d, k2)
+						}
+						seen[k2] = true
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestPathSegmentBottleneck: the relay segment of a multi-hop path is the
 // smallest PipelineSegment along it, and direct pairs get none.
 func TestPathSegmentBottleneck(t *testing.T) {

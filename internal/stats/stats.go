@@ -53,24 +53,50 @@ func (s *Series) At(size int) (Point, bool) {
 }
 
 // RelayStat is one gateway's relay load accounting for a session:
-// messages and body bytes it forwarded for other ranks, messages dropped
-// for lack of an onward route, and the peak store-and-forward queue
-// depth (the §6 forwarding extension's gateway-side cost).
+// messages and body bytes it forwarded for other ranks, drops broken out
+// by reason (a routing hole vs admission-control overflow of the bounded
+// queue — distinguishable so CI triage can tell a misconfigured topology
+// from a hot gateway), the admission-control activity (deferred bodies,
+// busy-nacked rendez-vous requests), and the peak store-and-forward
+// queue depth against its configured bound.
 type RelayStat struct {
-	Name      string
-	Msgs      uint64
-	Bytes     uint64
-	Drops     uint64
+	Name  string
+	Msgs  uint64
+	Bytes uint64
+	// DropsNoRoute counts relayed messages dropped for lack of an onward
+	// route; DropsQueueFull counts admission-control drops at a full
+	// bounded queue (lossy-eager mode).
+	DropsNoRoute   uint64
+	DropsQueueFull uint64
+	// Deferred counts relayed bodies that waited for a relay credit;
+	// BusyNacks counts rendez-vous requests refused (and retried
+	// upstream) because the queue was full.
+	Deferred  uint64
+	BusyNacks uint64
+	// QueuePeak is the peak store-and-forward queue depth; Window is the
+	// configured credit bound (0 = unbounded). QueuePeak never exceeds a
+	// non-zero Window.
 	QueuePeak int
+	Window    int
 }
+
+// Drops returns the total dropped messages across all reasons.
+func (r RelayStat) Drops() uint64 { return r.DropsNoRoute + r.DropsQueueFull }
 
 // RelayTable renders gateway relay accounting as an aligned table.
 func RelayTable(title string, rows []RelayStat) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s\n", title)
-	fmt.Fprintf(&b, "%-18s %10s %14s %8s %10s\n", "gateway", "msgs", "bytes", "drops", "queue-peak")
+	fmt.Fprintf(&b, "%-18s %10s %14s %12s %10s %9s %10s %11s\n",
+		"gateway", "msgs", "bytes", "drop-noroute", "drop-qfull", "deferred", "busy-nack", "queue-peak")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s %10d %14d %8d %10d\n", r.Name, r.Msgs, r.Bytes, r.Drops, r.QueuePeak)
+		peak := fmt.Sprintf("%d", r.QueuePeak)
+		if r.Window > 0 {
+			peak = fmt.Sprintf("%d/%d", r.QueuePeak, r.Window)
+		}
+		fmt.Fprintf(&b, "%-18s %10d %14d %12d %10d %9d %10d %11s\n",
+			r.Name, r.Msgs, r.Bytes, r.DropsNoRoute, r.DropsQueueFull,
+			r.Deferred, r.BusyNacks, peak)
 	}
 	return b.String()
 }

@@ -61,6 +61,27 @@ func TestSweepsShape(t *testing.T) {
 	}
 }
 
+func TestRelayTableDropReasons(t *testing.T) {
+	rows := []RelayStat{
+		{Name: "rank1(gw)", Msgs: 10, Bytes: 4096, DropsNoRoute: 2,
+			DropsQueueFull: 3, Deferred: 5, BusyNacks: 1, QueuePeak: 4, Window: 8},
+		{Name: "rank2(gw)", Msgs: 7, Bytes: 2048, QueuePeak: 2},
+	}
+	if rows[0].Drops() != 5 {
+		t.Fatalf("total drops = %d, want 5", rows[0].Drops())
+	}
+	tab := RelayTable("relays", rows)
+	for _, want := range []string{"drop-noroute", "drop-qfull", "deferred", "busy-nack", "4/8"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("relay table missing %q:\n%s", want, tab)
+		}
+	}
+	// An unbounded gateway renders a bare peak, not a x/0 bound.
+	if strings.Contains(tab, "2/0") {
+		t.Errorf("unbounded gateway rendered a bound:\n%s", tab)
+	}
+}
+
 func TestTableAndCSVRendering(t *testing.T) {
 	s1 := &Series{Name: "a"}
 	s1.Add(1, 10*vtime.Microsecond)
