@@ -223,12 +223,14 @@ func BenchmarkForwarding(b *testing.B) {
 // BenchmarkHierCollectives regenerates extension X4 (flat versus
 // two-level versus ring collectives on the 2x4-rank cluster-of-clusters)
 // plus extension X5 (the multi-gateway bridged topology: routed
-// collectives, gateway-aware leaders, pipelined relay) and its variant
+// collectives, gateway-aware leaders, pipelined relay), its variant
 // (the bridged triangle: two-rail striping, adaptive re-routing, bounded
-// gateway queues), and records the sweeps to BENCH_collectives.json for
-// the regression gate.
+// gateway queues) and extension X6 (the per-link device mux vs the
+// uniform single-protocol transport on the mixed SCI+BIP+TCP cluster),
+// and records the sweeps to BENCH_collectives.json for the regression
+// gate.
 func BenchmarkHierCollectives(b *testing.B) {
-	var res, gw, ad *experiments.Result
+	var res, gw, ad, hm *experiments.Result
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.HierCollectives()
 		if err != nil {
@@ -245,9 +247,15 @@ func BenchmarkHierCollectives(b *testing.B) {
 			b.Fatal(err)
 		}
 		ad = a
+		h, err := experiments.HeteroMux()
+		if err != nil {
+			b.Fatal(err)
+		}
+		hm = h
 	}
 	all := append(append([]*stats.Series{}, res.Series...), gw.Series...)
 	all = append(all, ad.Series...)
+	all = append(all, hm.Series...)
 	for _, s := range all {
 		if p, ok := s.At(8); ok {
 			b.ReportMetric(p.LatencyUS(), "vus8B:"+sanitize(s.Name))
@@ -256,7 +264,7 @@ func BenchmarkHierCollectives(b *testing.B) {
 			b.ReportMetric(p.LatencyUS(), "vus64K:"+sanitize(s.Name))
 		}
 	}
-	writeCollectivesJSON(b, res, gw, ad)
+	writeCollectivesJSON(b, res, gw, ad, hm)
 }
 
 // writeCollectivesJSON records the X4 and X5 sweeps next to the benchmark
@@ -277,14 +285,18 @@ func writeCollectivesJSON(b *testing.B, results ...*experiments.Result) {
 		Topology   string   `json:"topology"`
 		Series     []series `json:"series"`
 	}{
-		Experiment: "X4 hierarchical collectives + X5 multi-gateway routing + X5 variant adaptive multi-path relay",
+		Experiment: "X4 hierarchical collectives + X5 multi-gateway routing + X5 variant adaptive multi-path relay" +
+			" + X6 per-link device mux",
 		Topology: "X4: 2 SCI islands x 4 single-proc nodes, interleaved ranks, TCP backbone" +
 			" (_cap series: backbone trunk capped at the TCP rate via netsim.Params.NetworkBandwidth);" +
 			" *_gw series (X5): bridged 3-cluster topology, 2 TCP bridges, no common network" +
 			" (GwHops_* point values are gateway-relayed message counts, not microseconds);" +
 			" Relay_stripe/_single, Adapt_*, AdaptQ_* and RelayQPeakMax (X5 variant): bridged triangle" +
 			" with a third TCP side — striping vs single-path relay, adaptive re-plan vs static under a" +
-			" loaded bridge (AdaptQ_*/RelayQPeakMax point values are relay queue depths, not microseconds)",
+			" loaded bridge (AdaptQ_*/RelayQPeakMax point values are relay queue depths, not microseconds);" +
+			" Mux_*/Uniform_* series (X6): 2 dual-proc SCI nodes + 2 dual-proc BIP nodes on a shared TCP" +
+			" backbone — per-link device mux (chself/smp/SAN/TCP classes, per-class autotuned switch" +
+			" points) vs the uniform single-protocol ch_mad configuration (Topology.Uniform)",
 	}
 	for _, res := range results {
 		for _, s := range res.Series {

@@ -5,7 +5,9 @@
 // importantly, if Allreduce_2level loses to Allreduce_flat at large
 // message sizes on the contended-backbone 2x4 heterogeneous topology —
 // or if the multi-path transport loses its striping/adaptive wins on the
-// bridged triangle, or any gateway queue exceeds its credit window.
+// bridged triangle, or any gateway queue exceeds its credit window, or
+// the per-link device mux stops beating the uniform single-protocol
+// transport on the mixed SCI+BIP+TCP cluster.
 //
 // Every failure prints the expected relation, the actual values and the
 // margin by which the rule missed, so a regression can be triaged from
@@ -106,6 +108,11 @@ func main() {
 			"the adaptive re-plan must beat the static plan when a bridge is loaded"},
 		{"AdaptQ_adaptive", "AdaptQ_static", 64 << 10, 0,
 			"the adaptive re-plan must lower the hot gateway's relay queue depth"},
+		// X6: the per-link device mux on the mixed SCI+BIP+TCP cluster.
+		{"Mux_Bcast", "Uniform_Bcast", 8, 0,
+			"the per-link device mux must beat the uniform single-protocol transport on Bcast at every size"},
+		{"Mux_Allreduce", "Uniform_Allreduce", 8, 0,
+			"the per-link device mux must beat the uniform single-protocol transport on Allreduce at every size"},
 	}
 	caps := []capRule{
 		{"RelayQPeakMax", "RelayQWindow",

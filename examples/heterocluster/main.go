@@ -2,11 +2,16 @@
 // clusters. An SCI island and a Myrinet island are joined by a
 // Fast-Ethernet backbone; a single MPI session spans all six ranks, and
 // every pair communicates over the best network available to it
-// simultaneously (the paper's headline capability). The example prints
-// the measured pairwise latency matrix, which makes the multi-protocol
-// routing visible: ~30 us inside the SCI and Myrinet islands (the idle
-// TCP backbone poller adds its Fig. 9 overhead on every node), ~150 us
-// across the backbone.
+// simultaneously (the paper's headline capability). The per-link device
+// mux classifies each pair's link — the two ranks sharing node sci0
+// ride the smp shared-memory class, island pairs their SAN class,
+// cross-island pairs the wan class — and each link runs its own
+// eager/rendez-vous switch point. The example prints rank 0's link map
+// (class and effective switch point per peer) and the measured pairwise
+// latency matrix, which makes the multi-protocol routing visible:
+// ~30 us inside the SCI and Myrinet islands (the idle TCP backbone
+// poller adds its Fig. 9 overhead on every node), ~150 us across the
+// backbone.
 //
 //	go run ./examples/heterocluster
 package main
@@ -22,7 +27,7 @@ import (
 func main() {
 	topo := cluster.Topology{
 		Nodes: []cluster.NodeSpec{
-			{Name: "sci0", Procs: 1}, {Name: "sci1", Procs: 1}, {Name: "sci2", Procs: 1},
+			{Name: "sci0", Procs: 2}, {Name: "sci1", Procs: 1}, {Name: "sci2", Procs: 1},
 			{Name: "myri0", Procs: 1}, {Name: "myri1", Procs: 1}, {Name: "myri2", Procs: 1},
 		},
 		Networks: []cluster.NetworkSpec{
@@ -48,10 +53,16 @@ func main() {
 	}
 	fmt.Printf("  backbone  %-9s (%6.1f MB/s, %5.1f us) pipeline segment %d B\n",
 		h.Inter.Net, h.Inter.BandwidthMBs, h.Inter.LatencyUS, h.Inter.SegmentBytes)
-	fmt.Println("rank 0 routes (channel carrying traffic to each peer):")
+	fmt.Println("rank 0 link map (device class and channel carrying traffic to each peer):")
 	for dst := 1; dst < len(sess.Ranks); dst++ {
+		class := sess.LinkClassOf(0, dst)
 		if name, params, ok := sess.Ranks[0].ChMad.RouteNet(dst); ok {
-			fmt.Printf("  -> rank %d (%s): %s/%s\n", dst, sess.RankNode(dst), name, params.Protocol)
+			fmt.Printf("  -> rank %d (%-6s) class %-4s via %s/%s, switch point %d B\n",
+				dst, sess.RankNode(dst), class, name, params.Protocol,
+				sess.Ranks[0].ChMad.SwitchPointTo(dst))
+		} else {
+			fmt.Printf("  -> rank %d (%-6s) class %-4s (off the ch_mad device)\n",
+				dst, sess.RankNode(dst), class)
 		}
 	}
 	fmt.Println()

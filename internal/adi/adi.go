@@ -83,18 +83,40 @@ var ErrTruncate = fmt.Errorf("adi: message truncated: buffer shorter than incomi
 // destinations. Receiving is device-internal: devices push incoming
 // messages into the process's Engine.
 //
-// Mirroring MPICH's MPID_Device limitation discussed in §4.2.2, a device
-// exposes exactly ONE eager->rendez-vous threshold even if it multiplexes
-// several networks; ch_mad's threshold election lives behind this method.
+// MPICH's MPID_Device structure (§4.2.2) exposes exactly ONE
+// eager->rendez-vous threshold even when the device multiplexes several
+// networks; SwitchPoint is that device-wide value and remains the
+// fallback. A device that participates in the per-link device mux
+// additionally implements LinkTuner, resolving the threshold per
+// destination from the link actually carrying it — the fix for the
+// single-protocol limitation.
 type Device interface {
 	Name() string
 	// Send initiates sr; sr.Done fires at local completion. Called from
 	// the MPI (application) thread of the sending process.
 	Send(sr *SendReq)
-	// SwitchPoint returns the eager->rendez-vous threshold in bytes.
+	// SwitchPoint returns the device-wide eager->rendez-vous threshold in
+	// bytes (the MPID_Device fallback; see LinkTuner).
 	SwitchPoint() int
 	// Shutdown stops device threads. Called once at MPI_Finalize.
 	Shutdown()
+}
+
+// LinkTuner is optionally implemented by devices that resolve the
+// eager->rendez-vous threshold per destination link instead of using the
+// single device-wide SwitchPoint: the route toward dst knows which
+// networks carry it, so the threshold is the smallest native switch point
+// along that path (or a measured per-device-class override).
+type LinkTuner interface {
+	SwitchPointTo(dst int) int
+}
+
+// ClassTuner is optionally implemented by devices that accept measured
+// per-device-class eager thresholds from the MPI_Init autotuner. class is
+// a device-class name ("smp", "san", "wan"); bytes <= 0 removes the
+// override, falling back to the link's native switch point.
+type ClassTuner interface {
+	SetClassSwitchPoint(class string, bytes int)
 }
 
 // unexpected is a queued message that arrived before a matching receive

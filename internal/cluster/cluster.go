@@ -53,6 +53,14 @@ type Topology struct {
 	// gateway nodes (ch_mad only).
 	Forwarding bool
 
+	// Uniform disables the per-link device mux — the single-protocol
+	// ch_mad-only ablation the paper's multi-device design is measured
+	// against. No smp_plug wiring (intra-node pairs ride the fastest
+	// shared network through ch_mad like any other link) and every device
+	// keeps the one globally elected eager->rendez-vous switch point
+	// instead of resolving it per destination link (ch_mad only).
+	Uniform bool
+
 	// Autotune runs the MPI_Init collective autotuner on every rank
 	// before the rank main: candidate algorithms are timed on the live
 	// topology and the measured crossover table replaces the analytic
@@ -153,7 +161,8 @@ type Session struct {
 	plan       *route.Plan         // cost-model routing (ch_mad only)
 	graph      route.Graph         // the proc graph the plan was computed on
 	maxPaths   int                 // resolved Topology.MaxPaths
-	minSwitch  int                 // smallest elected device switch point
+	segCap     int                 // global backbone-segment cap (uniform sessions only; 0 = per-path clamping)
+	classes    [][]string          // rank x rank device-class names (per-link mux)
 	devs       []*core.Device      // rank -> ch_mad device (nil for ch_p4)
 	chanOf     []map[string]*madeleine.Channel
 	rankErr    []error
@@ -244,14 +253,18 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 	s := sess.S
 	size := len(places)
 
-	// Per-node shared-memory segments for multi-proc nodes.
+	uniform := sess.Topo.Uniform
+
+	// Per-node shared-memory segments for multi-proc nodes. The uniform
+	// ch_mad-only ablation skips them: intra-node pairs then ride the
+	// fastest shared network through ch_mad like any other link.
 	smpNodes := make(map[string]*smpplug.Node)
 	perNode := make(map[string]int)
 	for _, pl := range places {
 		perNode[pl.node]++
 	}
 	for node, n := range perNode {
-		if n > 1 {
+		if n > 1 && !uniform {
 			smpNodes[node] = smpplug.NewNode(s, node)
 		}
 	}
@@ -319,26 +332,35 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 	}
 	plan := route.ComputeOpts(g, route.Options{RefBytes: route.DefaultRefBytes, MaxPaths: sess.maxPaths})
 	sess.plan = plan
+	sess.classifyLinks(plan)
 	sess.installRoutes(plan)
 
 	// Bound every gateway's store-and-forward queue (admission control);
 	// RelayWindow < 0 keeps the historical unbounded queue.
 	window := sess.Topo.resolvedRelayWindow()
 
-	// Start the devices first (this elects each ch_mad switch point), then
-	// discover the cluster hierarchy: the backbone pipeline segment must
-	// stay at or below every device's eager threshold.
+	// Start the devices first (this elects each ch_mad device-wide
+	// fallback threshold), then discover the cluster hierarchy. Uniform
+	// single-threshold sessions cap every backbone pipeline segment at
+	// the globally elected minimum — the historical behaviour; the
+	// per-link mux leaves segCap zero and routedInter instead clamps each
+	// backbone segment by the switch points along its actual path.
 	minSwitch := 0
 	for r := 0; r < size; r++ {
-		wirings[r].rank.ChMad.RelayWindow = window
-		wirings[r].rank.ChMad.Start()
-		if sp := wirings[r].rank.ChMad.SwitchPoint(); minSwitch == 0 || sp < minSwitch {
+		dev := wirings[r].rank.ChMad
+		dev.RelayWindow = window
+		dev.PerLinkSwitch = !uniform
+		dev.Start()
+		if sp := dev.SwitchPoint(); minSwitch == 0 || sp < minSwitch {
 			minSwitch = sp
 		}
 	}
-	sess.minSwitch = minSwitch
-	hier := sess.discoverHierarchy(minSwitch)
+	if uniform {
+		sess.segCap = minSwitch
+	}
+	hier := sess.discoverHierarchy(sess.segCap)
 
+	probes := sess.classProbes()
 	for r := 0; r < size; r++ {
 		w := wirings[r]
 		devices := []adi.Device{w.self, w.rank.ChMad}
@@ -360,13 +382,81 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 		}
 		w.rank.MPI = mpi.NewProcess(w.rank.Proc, w.rank.Eng, r, size, route, devices)
 		w.rank.MPI.SetHierarchy(hier)
+		w.rank.MPI.SetLinkClasses(sess.classes[r])
+		if !uniform {
+			w.rank.MPI.SetClassProbes(probes)
+		}
 		sess.Ranks = append(sess.Ranks, w.rank)
 	}
 	return nil
 }
 
+// classifyLinks assigns every ordered rank pair its device class — the
+// per-link device mux's topology discovery: intra-process pairs are
+// chself-class, intra-node pairs smp-class (when the mux wires smp_plug),
+// and routed pairs take the dominating class of their planned path
+// (SAN-class intra-cluster, TCP-class across a commodity backbone).
+// Unroutable pairs stay unclassified ("").
+func (sess *Session) classifyLinks(plan *route.Plan) {
+	size := len(sess.places)
+	classes := make([][]string, size)
+	for r := range classes {
+		row := make([]string, size)
+		for dst := 0; dst < size; dst++ {
+			switch {
+			case dst == r:
+				row[dst] = route.ClassSelf.String()
+			case sess.places[dst].node == sess.places[r].node && !sess.Topo.Uniform:
+				row[dst] = route.ClassSMP.String()
+			default:
+				if hops, ok := plan.Path(r, dst); ok {
+					row[dst] = plan.PathClassOf(hops).String()
+				}
+			}
+		}
+		classes[r] = row
+	}
+	sess.classes = classes
+}
+
+// LinkClassOf returns the device class of the link from src toward dst
+// ("self", "smp", "san", "wan"), "" for ch_p4 sessions or unroutable
+// pairs.
+func (sess *Session) LinkClassOf(src, dst int) string {
+	if sess.classes == nil {
+		return ""
+	}
+	return sess.classes[src][dst]
+}
+
+// classProbes picks, per inter-node device class present in the session,
+// the lowest ordered rank pair of that class: the representative pair the
+// MPI_Init autotuner times to measure the class's eager/rendez-vous
+// crossover. Deterministic, so every rank installs the identical list.
+func (sess *Session) classProbes() []mpi.ClassProbe {
+	if sess.classes == nil {
+		return nil
+	}
+	size := len(sess.places)
+	var probes []mpi.ClassProbe
+	for _, class := range []string{route.ClassSAN.String(), route.ClassWAN.String()} {
+		found := false
+		for i := 0; i < size && !found; i++ {
+			for j := i + 1; j < size && !found; j++ {
+				if sess.classes[i][j] == class {
+					probes = append(probes, mpi.ClassProbe{Class: class, A: i, B: j})
+					found = true
+				}
+			}
+		}
+	}
+	return probes
+}
+
 // installRoutes installs every rank's routes and rails from a plan,
 // replacing whatever was wired before (shared by Build and Replan).
+// Intra-node pairs normally ride smp_plug and get no ch_mad route; the
+// uniform ch_mad-only ablation routes them through the device too.
 func (sess *Session) installRoutes(plan *route.Plan) {
 	size := len(sess.places)
 	for r := 0; r < size; r++ {
@@ -375,7 +465,10 @@ func (sess *Session) installRoutes(plan *route.Plan) {
 			continue
 		}
 		for dst := 0; dst < size; dst++ {
-			if dst == r || sess.places[dst].node == sess.places[r].node {
+			if dst == r {
+				continue
+			}
+			if sess.places[dst].node == sess.places[r].node && !sess.Topo.Uniform {
 				continue
 			}
 			dev.SetRails(dst, sess.railsFor(plan, r, dst))
@@ -399,10 +492,19 @@ func (sess *Session) railsFor(plan *route.Plan, r, dst int) []core.Route {
 		if !shared {
 			return nil
 		}
+		// The fallback rail carries the same planner metadata as every
+		// planner-built rail: a zero Cost/BottleneckCost would make stripe
+		// weighting and re-plan ranking treat the slow direct edge as free.
+		hops := []route.Hop{{Rank: dst, Net: direct}}
 		return []core.Route{{
-			Channel:  sess.chanOf[r][direct],
-			NextNode: sess.places[dst].proc,
-			Hops:     1,
+			Channel:        sess.chanOf[r][direct],
+			NextNode:       sess.places[dst].proc,
+			Hops:           1,
+			SegBytes:       plan.PathSegmentOf(hops),
+			Cost:           plan.PathCostOf(hops, plan.RefBytes()),
+			BottleneckCost: plan.PathBottleneckOf(hops, plan.RefBytes()),
+			SwitchBytes:    plan.PathSwitchOf(hops),
+			Class:          plan.PathClassOf(hops).String(),
 		}}
 	}
 	primCost := plan.PathCostOf(paths[0], plan.RefBytes())
@@ -422,6 +524,8 @@ func (sess *Session) railsFor(plan *route.Plan, r, dst int) []core.Route {
 			SegBytes:       plan.PathSegmentOf(hops),
 			Cost:           cost,
 			BottleneckCost: plan.PathBottleneckOf(hops, plan.RefBytes()),
+			SwitchBytes:    plan.PathSwitchOf(hops),
+			Class:          plan.PathClassOf(hops).String(),
 		})
 	}
 	return rails
@@ -462,10 +566,11 @@ func (sess *Session) Replan() *route.Plan {
 		Congestion: cong,
 	})
 	sess.plan = plan
+	sess.classifyLinks(plan)
 	sess.installRoutes(plan)
 	if sess.hier != nil {
 		sess.electLeaders(sess.hier)
-		sess.routedInter(sess.hier, sess.minSwitch)
+		sess.routedInter(sess.hier, sess.segCap)
 		for _, rk := range sess.Ranks {
 			rk.MPI.RefreshHierarchy(sess.hier)
 		}
@@ -566,7 +671,11 @@ func (sess *Session) Run(main func(rank int, comm *mpi.Comm) error) error {
 	var tuneKey string
 	var cachedTune []mpi.TuneChoice
 	if sess.Topo.Autotune && sess.Topo.TuneCache != nil {
-		tuneKey = sess.Topo.ShapeHash()
+		key, err := sess.Topo.ShapeHash()
+		if err != nil {
+			return err
+		}
+		tuneKey = key
 		cachedTune, _ = sess.Topo.TuneCache.Lookup(tuneKey)
 	}
 	for _, rk := range sess.Ranks {

@@ -33,9 +33,13 @@ func (sess *Session) fastestNet(node string) string {
 
 // discoverHierarchy groups ranks into clusters and summarizes the intra-
 // and inter-cluster links for the collective tuning table. maxSegment,
-// when positive, caps the backbone pipeline segment at the devices'
-// elected eager threshold so broadcast segments never trigger a
-// rendez-vous round-trip per segment.
+// when positive, caps the backbone pipeline segment at the session's
+// single globally elected eager threshold — only uniform single-threshold
+// sessions pass one. Per-link mux sessions pass 0: each network's
+// PipelineSegment is already clamped by its own native switch point, and
+// routedInter additionally clamps multi-hop backbone paths by the
+// smallest switch point actually along them, so broadcast segments never
+// trigger a rendez-vous round-trip per segment on any hop.
 func (sess *Session) discoverHierarchy(maxSegment int) *mpi.Hierarchy {
 	h := &mpi.Hierarchy{ClusterOf: make([]int, len(sess.places))}
 	clusterIdx := make(map[string]int) // cluster key -> dense id, by first rank
@@ -176,6 +180,14 @@ func (sess *Session) routedInter(h *mpi.Hierarchy, maxSegment int) {
 			seg = s
 		}
 		names = append(names, hop.Net)
+	}
+	// Per-link thresholds: a pipelined segment must stay on the eager
+	// path of every hop of its actual route, so the bound is the smallest
+	// native switch point along this path — not one session-global
+	// election (which would either over-constrain a fast-threshold path
+	// or let a segment trip rendez-vous on a slow-threshold hop).
+	if sw := sess.plan.PathSwitchOf(hops); sw > 0 && seg > sw {
+		seg = sw
 	}
 	if maxSegment > 0 && seg > maxSegment {
 		seg = maxSegment

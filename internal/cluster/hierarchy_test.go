@@ -60,8 +60,12 @@ func TestDiscoverHierarchyTwoClusters(t *testing.T) {
 				c.Net, c.BandwidthMBs, h.Inter.BandwidthMBs)
 		}
 	}
-	if h.Inter.SegmentBytes <= 0 || h.Inter.SegmentBytes > 8<<10 {
-		t.Fatalf("backbone segment %d outside (0, 8K] (SCI-elected switch point)", h.Inter.SegmentBytes)
+	// Per-link mux: the TCP backbone's segment is bounded by TCP's own
+	// native switch point (64K), not dragged down to the SCI islands'
+	// 8K election — the backbone hops never cross an SCI link, so an 8K
+	// cap would only shrink pipelining for no rendez-vous avoidance.
+	if h.Inter.SegmentBytes <= 8<<10 || h.Inter.SegmentBytes > 64<<10 {
+		t.Fatalf("backbone segment %d outside (8K, 64K] (TCP-native switch point)", h.Inter.SegmentBytes)
 	}
 
 	// Route metadata must agree with the discovered hierarchy: intra-

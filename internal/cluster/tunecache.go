@@ -17,6 +17,7 @@ import (
 
 	"mpichmad/internal/mpi"
 	"mpichmad/internal/netsim"
+	"mpichmad/internal/route"
 )
 
 // TuneCache stores measured crossover tables keyed by topology shape.
@@ -110,10 +111,15 @@ func LoadTuneCacheFile(path string) *TuneCache {
 }
 
 // ShapeHash fingerprints everything about the topology that can alter
-// autotuner timings. Two topologies with equal hashes produce identical
-// sweeps (virtual time has no noise), so their crossover tables are
-// interchangeable.
-func (topo Topology) ShapeHash() string {
+// autotuner timings — including the per-link device-mux fields (the
+// uniform-ablation flag and every network's device class and native
+// switch point), so a heterogeneous mux session never reuses a table
+// measured on a uniform or differently classed shape. Two topologies
+// with equal hashes produce identical sweeps (virtual time has no
+// noise), so their crossover tables are interchangeable. An unknown
+// protocol is an error, mirroring Build: hashing it as a nil cost model
+// would let distinct topologies collide on one cached table.
+func (topo Topology) ShapeHash() (string, error) {
 	h := fnv.New64a()
 	w := func(format string, args ...interface{}) {
 		fmt.Fprintf(h, format, args...)
@@ -121,20 +127,23 @@ func (topo Topology) ShapeHash() string {
 	// The multi-path knobs hash as their resolved effective values, so a
 	// spelled-out default (MaxPaths: 2, RelayWindow: 16 on a forwarded
 	// topology) shares its cached table with the zero-valued spelling.
-	w("device=%s;forwarding=%t;oblivious=%t;maxpaths=%d;window=%d;",
+	w("device=%s;forwarding=%t;oblivious=%t;maxpaths=%d;window=%d;uniform=%t;",
 		topo.Device, topo.Forwarding, topo.ObliviousLeaders,
-		topo.resolvedMaxPaths(), topo.resolvedRelayWindow())
+		topo.resolvedMaxPaths(), topo.resolvedRelayWindow(), topo.Uniform)
 	for _, nd := range topo.Nodes {
 		w("node=%s:%d;", nd.Name, nd.Procs)
 	}
 	for _, ns := range topo.Networks {
 		params := ns.Params
 		if params == nil {
-			if p, ok := netsim.ByProtocol(ns.Protocol); ok {
-				params = &p
+			p, ok := netsim.ByProtocol(ns.Protocol)
+			if !ok {
+				return "", fmt.Errorf("cluster: ShapeHash: unknown protocol %q", ns.Protocol)
 			}
+			params = &p
 		}
-		w("net=%s:%s:%+v:%v;", ns.Name, ns.Protocol, params, ns.Nodes)
+		w("net=%s:%s:%s:%d:%+v:%v;", ns.Name, ns.Protocol,
+			route.ClassOf(*params), params.SwitchPoint, params, ns.Nodes)
 	}
-	return fmt.Sprintf("%016x", h.Sum64())
+	return fmt.Sprintf("%016x", h.Sum64()), nil
 }

@@ -43,6 +43,19 @@ type Route struct {
 	// equal shares): two rails whose bottleneck is one bridge each split
 	// evenly no matter how many cheap hops the longer one adds.
 	BottleneckCost float64
+
+	// SwitchBytes is the per-link eager->rendez-vous threshold of this
+	// route: the smallest native switch point of the networks along the
+	// path (route.Plan.PathSwitchOf), so a payload at or below it rides
+	// the eager path on every hop. Zero means unknown; the device falls
+	// back to its elected device-wide threshold.
+	SwitchBytes int
+
+	// Class names the route's device class ("smp", "san", "wan" — the
+	// dominating tier along the path, route.Plan.PathClassOf), letting
+	// measured per-class threshold overrides apply to the right links.
+	// Empty means unclassified.
+	Class string
 }
 
 // Device is the ch_mad MPICH device of one process. It satisfies
@@ -62,9 +75,28 @@ type Device struct {
 	// names. Destinations without an entry have the single primary route.
 	rails map[int][]Route
 
-	// switchPoint is the single eager->rendez-vous threshold the ADI's
-	// MPID_Device structure allows (§4.2.2), elected by ElectSwitchPoint.
+	// switchPoint is the device-wide eager->rendez-vous threshold elected
+	// by ElectSwitchPoint — the single value the ADI's MPID_Device
+	// structure historically allowed (§4.2.2). With the per-link device
+	// mux it is only the fallback: Send resolves the threshold per
+	// destination (SwitchPointTo) from the route's SwitchBytes and any
+	// measured per-class override, unless PerLinkSwitch is off or
+	// SetSwitchPoint forced a uniform value.
 	switchPoint int
+
+	// forcedSwitch records that SetSwitchPoint explicitly overrode the
+	// threshold (ablation X1): the forced value then governs every link.
+	forcedSwitch bool
+
+	// PerLinkSwitch enables per-destination threshold resolution (on by
+	// default). Off, the device behaves like the historical
+	// single-threshold MPID_Device — the uniform ch_mad-only ablation.
+	PerLinkSwitch bool
+
+	// classSwitch holds measured per-device-class threshold overrides
+	// installed by the autotuner (adi.ClassTuner); they take precedence
+	// over the route's native SwitchBytes for links of that class.
+	classSwitch map[string]int
 
 	// MonolithicEager reverts the §4.2.2 header/body split to the naive
 	// scheme: eager data is copied into a constant-size
@@ -162,6 +194,7 @@ func New(p *marcel.Proc, eng *adi.Engine, rank int) *Device {
 		rank:            rank,
 		RelayPipelining: true,
 		RelayStriping:   true,
+		PerLinkSwitch:   true,
 		routes:          make(map[int]Route),
 		rails:           make(map[int][]Route),
 		pending:         make(map[uint32]*adi.SendReq),
@@ -266,11 +299,68 @@ func (d *Device) ElectSwitchPoint() int {
 	return best
 }
 
-// SetSwitchPoint overrides the elected threshold (ablation X1).
-func (d *Device) SetSwitchPoint(n int) { d.switchPoint = n }
+// SetSwitchPoint overrides the elected threshold (ablation X1) with a
+// uniform value that then governs every link, per-link resolution
+// included.
+func (d *Device) SetSwitchPoint(n int) {
+	d.switchPoint = n
+	d.forcedSwitch = true
+}
 
-// SwitchPoint implements adi.Device.
+// SwitchPoint implements adi.Device: the device-wide fallback threshold.
 func (d *Device) SwitchPoint() int { return d.switchPoint }
+
+// SwitchPointTo implements adi.LinkTuner: the eager->rendez-vous
+// threshold for the link toward dst. Resolution order: a forced uniform
+// value (SetSwitchPoint / PerLinkSwitch off), then a measured per-class
+// override for the route's device class, then the route's native
+// SwitchBytes (smallest switch point along its path), then the elected
+// device-wide fallback.
+func (d *Device) SwitchPointTo(dst int) int {
+	if d.forcedSwitch || !d.PerLinkSwitch {
+		return d.switchPoint
+	}
+	rt, ok := d.routes[dst]
+	if !ok {
+		return d.switchPoint
+	}
+	if rt.Class != "" {
+		if sp, ok := d.classSwitch[rt.Class]; ok && sp > 0 {
+			return sp
+		}
+	}
+	if rt.SwitchBytes > 0 {
+		return rt.SwitchBytes
+	}
+	return d.switchPoint
+}
+
+// SetClassSwitchPoint implements adi.ClassTuner: install (or with
+// bytes <= 0 remove) a measured threshold override for every link of a
+// device class.
+func (d *Device) SetClassSwitchPoint(class string, bytes int) {
+	if d.classSwitch == nil {
+		d.classSwitch = make(map[string]int)
+	}
+	if bytes <= 0 {
+		delete(d.classSwitch, class)
+		return
+	}
+	d.classSwitch[class] = bytes
+}
+
+// ClassSwitchPoints returns the installed per-class threshold overrides
+// (tests, diagnostics); nil when none were installed.
+func (d *Device) ClassSwitchPoints() map[string]int {
+	if d.classSwitch == nil {
+		return nil
+	}
+	out := make(map[string]int, len(d.classSwitch))
+	for k, v := range d.classSwitch {
+		out[k] = v
+	}
+	return out
+}
 
 // Start launches one polling thread per channel ("we assign one thread
 // per Madeleine channel", §4.1). Polling threads are daemons: they live
@@ -338,7 +428,7 @@ func (d *Device) Send(sr *adi.SendReq) {
 		sr.Done.Fire()
 		return
 	}
-	if !sr.Sync && len(sr.Data) <= d.switchPoint {
+	if !sr.Sync && len(sr.Data) <= d.SwitchPointTo(sr.Dst) {
 		d.sendEager(sr, rt)
 		return
 	}
@@ -372,7 +462,11 @@ func (d *Device) sendEager(sr *adi.SendReq, rt Route) {
 			// Ablation X2: naive ADI short packet with a constant
 			// MPID_PKT_MAX_DATA_SIZE buffer: copy the user data in
 			// (sender-side copy!) and ship the whole padded buffer.
-			padded := make([]byte, d.switchPoint)
+			bufLen := d.switchPoint
+			if len(sr.Data) > bufLen {
+				bufLen = len(sr.Data) // per-link threshold above the device-wide one
+			}
+			padded := make([]byte, bufLen)
 			d.proc.Compute(rt.Channel.Params.CopyTime(len(sr.Data)))
 			copy(padded, sr.Data)
 			err = conn.Pack(padded, madeleine.SendLater, madeleine.ReceiveCheaper)
@@ -482,7 +576,7 @@ func (d *Device) handling(ch *madeleine.Channel) {
 func (d *Device) inShort(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
 	env := h.envelope()
 	bodyLen := h.Len
-	if d.MonolithicEager && bodyLen > 0 {
+	if d.MonolithicEager && bodyLen > 0 && bodyLen < d.switchPoint {
 		bodyLen = d.switchPoint // padded constant-size buffer on the wire
 	}
 	var scratch []byte
@@ -923,7 +1017,7 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 	case PktShort, PktRndv, PktRndvSeg:
 		if h.Len > 0 {
 			bodyLen = h.Len
-			if d.MonolithicEager && h.Type == PktShort {
+			if d.MonolithicEager && h.Type == PktShort && bodyLen < d.switchPoint {
 				bodyLen = d.switchPoint
 			}
 		}

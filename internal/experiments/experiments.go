@@ -632,6 +632,7 @@ func All() ([]*Result, error) {
 		HierCollectives,
 		GatewayCollectives,
 		AdaptiveMultipath,
+		HeteroMux,
 	}
 	for _, g := range gens {
 		r, err := g()
@@ -678,6 +679,8 @@ func ByID(id string) (*Result, error) {
 		return GatewayCollectives()
 	case "adaptive":
 		return AdaptiveMultipath()
+	case "heteromux":
+		return HeteroMux()
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q (see DESIGN.md experiment index)", id)
 }

@@ -49,6 +49,16 @@ type Process struct {
 	tuned      *tuneTable
 	forcedAlgo *collAlgo
 
+	// linkClass[dst] names the device class of the link toward each world
+	// rank ("self", "smp", "san", "wan"), installed by the cluster wiring
+	// when the session runs the per-link device mux (nil otherwise);
+	// classProbes lists the representative rank pairs the autotuner times
+	// to measure per-class eager thresholds, identical on every rank;
+	// classSwitch holds the measured per-class thresholds once installed.
+	linkClass   []string
+	classProbes []ClassProbe
+	classSwitch map[string]int
+
 	memcpyBW  float64
 	finalized bool
 }

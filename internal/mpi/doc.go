@@ -111,6 +111,36 @@
 //     the gateway can hold it. Drops (lossy-eager ablation, routing
 //     holes) are counted by reason in stats.RelayTable.
 //
+// # The per-link device mux
+//
+// A session's links are not interchangeable: the paper's headline
+// configuration runs shared memory within a node, a SAN within each
+// cluster and TCP between clusters, all at once. The cluster wiring
+// classifies every ordered rank pair into a device class — "self"
+// (intra-process, chself), "smp" (intra-node, smp_plug), "san"
+// (intra-cluster SAN such as SCI or Myrinet/BIP) or "wan" (a commodity
+// backbone) — and installs the classification on each rank
+// (Process.SetLinkClasses / LinkClassOf). Three layers consume it:
+//
+//   - Routing: internal/route's edge costs are device-aware — an eager
+//     payload pays the class's intermediary-copy cost, a rendez-vous
+//     payload its handshake round-trips — so the planner prefers the
+//     transport a payload actually runs fastest on, not a uniform
+//     reference curve.
+//   - The devices: ch_mad routes carry their path's device class and
+//     smallest native switch point, and Device.SwitchPointTo resolves
+//     the eager->rendez-vous threshold per link (measured per-class
+//     override, then the path's native threshold, then the historical
+//     single elected value) instead of §4.2.2's one device-wide
+//     election. cluster.Topology.Uniform restores the historical
+//     single-protocol wiring as an ablation.
+//   - Tuning: the MPI_Init autotuner probes one representative rank
+//     pair per class (ClassProbe) with eager- and rendez-vous-forced
+//     ping-pongs and broadcasts the measured per-class thresholds with
+//     the crossover table; they install through adi.ClassTuner, appear
+//     as "SwitchPoint" rows of TuneSnapshot, and persist through the
+//     TuneCache like every other row.
+//
 // # The MPI_Init autotuner
 //
 // Process.Autotune (or cluster.Topology.Autotune) replaces the analytic
@@ -127,8 +157,9 @@
 // collective; Process.TuneSnapshot exports it for reports, and
 // Process.LoadTuneTable installs an exported table directly — the
 // persistence path: cluster.Topology.TuneCache keys tables by a
-// topology-shape hash, so repeated sessions of the same shape skip the
-// sweep and load byte-identical rows.
+// topology-shape hash (device classes, per-network switch points and
+// the Uniform flag included), so repeated sessions of the same shape
+// skip the sweep and load byte-identical rows.
 //
 // # The Icoll API
 //

@@ -17,7 +17,9 @@ package mpi
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"mpichmad/internal/adi"
 	"mpichmad/internal/vtime"
 )
 
@@ -25,6 +27,92 @@ import (
 // bandwidth-dominated regimes. Crossovers between adjacent sweep points
 // are placed at their geometric midpoint.
 var tuneSizes = []int{1 << 10, 16 << 10, 256 << 10}
+
+// switchTuneSizes is the per-device-class eager/rendez-vous probe sweep:
+// sizes bracketing every native switch point in the zoo (BIP 7K, SCI 8K,
+// smp 16K, TCP 64K), so the measured crossover can land on either side of
+// the calibrated one.
+var switchTuneSizes = []int{2 << 10, 8 << 10, 32 << 10, 128 << 10}
+
+// switchPointOp is the TuneChoice.Op marker for a per-device-class
+// eager->rendez-vous threshold row: MaxBytes is the threshold, Algo names
+// the device class.
+const switchPointOp = "SwitchPoint"
+
+// deviceClassNames lists the per-link device-mux classes in tier order
+// (mirroring internal/route's DeviceClass taxonomy); the canonical
+// encoding order for per-class threshold rows.
+var deviceClassNames = []string{"self", "smp", "san", "wan"}
+
+// classIndex inverts deviceClassNames; -1 for an unknown name.
+func classIndex(name string) int {
+	for i, n := range deviceClassNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ClassProbe names the representative ordered rank pair the MPI_Init
+// autotuner times to measure one device class's eager/rendez-vous
+// crossover. The cluster wiring installs the same probe list on every
+// rank (SetClassProbes); during Autotune all ranks step through the list
+// in lockstep while ranks A and B run the timed ping-pongs.
+type ClassProbe struct {
+	Class string
+	A, B  int
+}
+
+// SetLinkClasses installs the device class of the link from this rank
+// toward every world rank ("self", "smp", "san", "wan") — the per-link
+// device mux's view of the topology, used by diagnostics and the
+// per-class threshold installer. Called by the cluster wiring.
+func (p *Process) SetLinkClasses(classes []string) {
+	p.linkClass = append([]string(nil), classes...)
+}
+
+// LinkClassOf returns the device class of the link toward a world rank,
+// "" when the session didn't install the mux classification.
+func (p *Process) LinkClassOf(dst int) string {
+	if p.linkClass == nil || dst < 0 || dst >= len(p.linkClass) {
+		return ""
+	}
+	return p.linkClass[dst]
+}
+
+// SetClassProbes installs the per-class autotuner probe pairs; every rank
+// must receive the identical list (the probe sweep is collective).
+func (p *Process) SetClassProbes(probes []ClassProbe) {
+	p.classProbes = append([]ClassProbe(nil), probes...)
+}
+
+// ClassSwitchPoints returns the measured per-device-class eager
+// thresholds installed by Autotune or LoadTuneTable, nil when none.
+func (p *Process) ClassSwitchPoints() map[string]int {
+	if p.classSwitch == nil {
+		return nil
+	}
+	out := make(map[string]int, len(p.classSwitch))
+	for k, v := range p.classSwitch {
+		out[k] = v
+	}
+	return out
+}
+
+// installClassSwitch records one measured per-class threshold and pushes
+// it into every device that accepts per-class tuning (adi.ClassTuner).
+func (p *Process) installClassSwitch(class string, bytes int) {
+	if p.classSwitch == nil {
+		p.classSwitch = make(map[string]int)
+	}
+	p.classSwitch[class] = bytes
+	for _, d := range p.devices {
+		if ct, ok := d.(adi.ClassTuner); ok {
+			ct.SetClassSwitchPoint(class, bytes)
+		}
+	}
+}
 
 // tuneRow is one bracket of the measured table: use algo for payloads up
 // to maxBytes (math.MaxInt on the last, open bracket).
@@ -64,27 +152,41 @@ func (c *Comm) tuneTable() *tuneTable {
 
 // TuneChoice is one exported row of the autotuned table (TuneSnapshot).
 type TuneChoice struct {
-	// Op is the MPI operation name ("Allreduce", "Bcast", ...).
+	// Op is the MPI operation name ("Allreduce", "Bcast", ...), or
+	// "SwitchPoint" for a per-device-class eager threshold row.
 	Op string
 	// MaxBytes is the bracket's upper payload bound; math.MaxInt marks
-	// the open last bracket.
+	// the open last bracket. For a "SwitchPoint" row it is the measured
+	// eager->rendez-vous threshold of the class.
 	MaxBytes int
 	// Algo names the selected algorithm: "flat", "2level", "2level-seg",
-	// "ring", "2level-ring".
+	// "ring", "2level-ring". For a "SwitchPoint" row it names the device
+	// class ("smp", "san", "wan").
 	Algo string
 }
 
 // TuneSnapshot returns the installed crossover table in deterministic
-// (operation, then size) order, nil when Autotune has not run.
+// (operation, then size) order, followed by the measured per-device-class
+// switch points in class-tier order; nil when Autotune has not run.
 func (p *Process) TuneSnapshot() []TuneChoice {
-	if p.tuned == nil {
+	if p.tuned == nil && p.classSwitch == nil {
 		return nil
 	}
 	var out []TuneChoice
-	for k := collKind(0); k < numCollKinds; k++ {
-		for _, r := range p.tuned.rows[k] {
-			out = append(out, TuneChoice{Op: kindNames[k], MaxBytes: r.maxBytes, Algo: algoNames[r.algo]})
+	if p.tuned != nil {
+		for k := collKind(0); k < numCollKinds; k++ {
+			for _, r := range p.tuned.rows[k] {
+				out = append(out, TuneChoice{Op: kindNames[k], MaxBytes: r.maxBytes, Algo: algoNames[r.algo]})
+			}
 		}
+	}
+	classes := make([]string, 0, len(p.classSwitch))
+	for c := range p.classSwitch {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classIndex(classes[i]) < classIndex(classes[j]) })
+	for _, c := range classes {
+		out = append(out, TuneChoice{Op: switchPointOp, MaxBytes: p.classSwitch[c], Algo: c})
 	}
 	return out
 }
@@ -101,6 +203,10 @@ func (p *Process) LoadTuneTable(choices []TuneChoice) error {
 	}
 	tt := &tuneTable{rows: make(map[collKind][]tuneRow)}
 	for _, tc := range choices {
+		if tc.Op == switchPointOp {
+			p.installClassSwitch(tc.Algo, tc.MaxBytes)
+			continue
+		}
 		kind, _ := kindByName(tc.Op) // validated above
 		algo, _ := algoByName(tc.Algo)
 		tt.rows[kind] = append(tt.rows[kind], tuneRow{maxBytes: tc.MaxBytes, algo: algo})
@@ -117,6 +223,15 @@ func (p *Process) LoadTuneTable(choices []TuneChoice) error {
 // failing it instead of failing every session that loads them.
 func ValidateTuneChoices(choices []TuneChoice) error {
 	for _, tc := range choices {
+		if tc.Op == switchPointOp {
+			if classIndex(tc.Algo) < 0 {
+				return fmt.Errorf("mpi: tune table: unknown device class %q", tc.Algo)
+			}
+			if tc.MaxBytes <= 0 {
+				return fmt.Errorf("mpi: tune table: non-positive switch point %d for class %s", tc.MaxBytes, tc.Algo)
+			}
+			continue
+		}
 		if _, ok := kindByName(tc.Op); !ok {
 			return fmt.Errorf("mpi: tune table: unknown operation %q", tc.Op)
 		}
@@ -280,8 +395,39 @@ func (c *Comm) autotune() error {
 		}
 	}
 
+	// Per-device-class switch-point probes: for each installed probe pair
+	// (A, B) the two ranks time eager- versus rendez-vous-forced
+	// ping-pongs across the probe sweep while the other ranks hold at the
+	// bracketing barriers; A elects the measured crossover and ships it to
+	// rank 0 for the table broadcast.
+	classThr := make(map[string]int, len(c.p.classProbes))
+	for _, pr := range c.p.classProbes {
+		thr, err := c.probeClassSwitch(pr)
+		if err != nil {
+			return fmt.Errorf("mpi: autotune switch probe %s(%d,%d): %w", pr.Class, pr.A, pr.B, err)
+		}
+		if c.myRank == pr.A && pr.A != 0 {
+			if err := c.Send(Int64Bytes([]int64{int64(thr)}), 1, Int64, 0, tuneProbeTag); err != nil {
+				return err
+			}
+		}
+		if c.myRank == 0 {
+			if pr.A != 0 {
+				buf := make([]byte, 8)
+				if _, err := c.Recv(buf, 1, Int64, pr.A, tuneProbeTag); err != nil {
+					return err
+				}
+				thr = int(BytesInt64(buf)[0])
+			}
+			if thr > 0 {
+				classThr[pr.Class] = thr
+			}
+		}
+	}
+
 	// Rank 0 turns winners into crossover brackets and broadcasts the
-	// encoded table; everyone installs the same bytes.
+	// encoded table (collective rows, then per-class switch rows tagged
+	// with negative kinds); everyone installs the same bytes.
 	var enc []int64
 	if c.myRank == 0 {
 		tt := &tuneTable{rows: make(map[collKind][]tuneRow)}
@@ -289,6 +435,11 @@ func (c *Comm) autotune() error {
 			tt.rows[pr.kind] = crossoverRows(tuneSizes, winners[pr.kind])
 		}
 		enc = encodeTuneTable(tt)
+		for i, name := range deviceClassNames {
+			if thr, ok := classThr[name]; ok {
+				enc = append(enc, int64(-(i+1)), int64(thr), 0)
+			}
+		}
 	}
 	nRows := make([]byte, 8)
 	if c.myRank == 0 {
@@ -307,7 +458,15 @@ func (c *Comm) autotune() error {
 			return err
 		}
 	}
-	c.p.tuned = decodeTuneTable(BytesInt64(buf))
+	vals := BytesInt64(buf)
+	c.p.tuned = decodeTuneTable(vals)
+	for i := 0; i+2 < len(vals); i += 3 {
+		if k := vals[i]; k < 0 {
+			if idx := int(-k) - 1; idx < len(deviceClassNames) {
+				c.p.installClassSwitch(deviceClassNames[idx], int(vals[i+1]))
+			}
+		}
+	}
 	// The sweep's own barriers/broadcasts resolved this communicator's
 	// cache to nil; refresh it so the tuned table governs from the next
 	// collective on.
@@ -347,7 +506,105 @@ func decodeTuneTable(enc []int64) *tuneTable {
 	tt := &tuneTable{rows: make(map[collKind][]tuneRow)}
 	for i := 0; i+2 < len(enc); i += 3 {
 		k := collKind(enc[i])
+		if k < 0 || k >= numCollKinds {
+			continue // per-class switch row (negative kind) or junk
+		}
 		tt.rows[k] = append(tt.rows[k], tuneRow{maxBytes: int(enc[i+1]), algo: collAlgo(enc[i+2])})
 	}
 	return tt
+}
+
+// tuneProbeTag is the reserved message tag of the switch-point probe
+// traffic (the ping-pongs and the verdict ship to rank 0); Autotune runs
+// before the rank main, so it cannot collide with application tags.
+const tuneProbeTag = 0x7357
+
+// probeClassSwitch runs one device class's eager/rendez-vous probe. All
+// ranks step through the same barrier sequence; ranks pr.A and pr.B
+// additionally time reps ping-pongs per (size, mode), forcing the mode
+// through the device's per-class threshold override. Only pr.A returns a
+// non-zero threshold (0 also when the device toward the peer does not
+// accept per-class tuning and the probe is meaningless).
+func (c *Comm) probeClassSwitch(pr ClassProbe) (int, error) {
+	mine := c.myRank == pr.A || c.myRank == pr.B
+	peer := pr.B
+	if c.myRank == pr.B {
+		peer = pr.A
+	}
+	var tuner adi.ClassTuner
+	if mine {
+		if ct, ok := c.p.route(peer).(adi.ClassTuner); ok {
+			tuner = ct
+		}
+	}
+	const reps = 2
+	var eagerT, rndvT []vtime.Duration
+	for _, size := range switchTuneSizes {
+		for mode := 0; mode < 2; mode++ {
+			if err := c.Barrier(); err != nil {
+				return 0, err
+			}
+			if tuner != nil {
+				if mode == 0 {
+					tuner.SetClassSwitchPoint(pr.Class, size) // payload == threshold: eager
+				} else {
+					tuner.SetClassSwitchPoint(pr.Class, 1) // force rendez-vous
+				}
+			}
+			var dt vtime.Duration
+			if mine && tuner != nil {
+				buf := make([]byte, size)
+				start := c.p.M.S.Now()
+				for i := 0; i < reps; i++ {
+					var err error
+					if c.myRank == pr.A {
+						err = c.Send(buf, size, Byte, peer, tuneProbeTag)
+						if err == nil {
+							_, err = c.Recv(buf, size, Byte, peer, tuneProbeTag)
+						}
+					} else {
+						_, err = c.Recv(buf, size, Byte, peer, tuneProbeTag)
+						if err == nil {
+							err = c.Send(buf, size, Byte, peer, tuneProbeTag)
+						}
+					}
+					if err != nil {
+						return 0, err
+					}
+				}
+				dt = c.p.M.S.Now().Sub(start)
+				tuner.SetClassSwitchPoint(pr.Class, 0) // drop the probe override
+			}
+			if err := c.Barrier(); err != nil {
+				return 0, err
+			}
+			if c.myRank == pr.A && tuner != nil {
+				if mode == 0 {
+					eagerT = append(eagerT, dt)
+				} else {
+					rndvT = append(rndvT, dt)
+				}
+			}
+		}
+	}
+	if c.myRank != pr.A || tuner == nil {
+		return 0, nil
+	}
+	return electSwitchThreshold(switchTuneSizes, eagerT, rndvT), nil
+}
+
+// electSwitchThreshold places the measured eager->rendez-vous crossover:
+// the geometric midpoint between the last eager-winning and the first
+// rendez-vous-winning probe size; below the sweep when rendez-vous wins
+// everywhere, above it when eager does.
+func electSwitchThreshold(sizes []int, eagerT, rndvT []vtime.Duration) int {
+	for i := range sizes {
+		if rndvT[i] < eagerT[i] {
+			if i == 0 {
+				return sizes[0] / 2
+			}
+			return int(math.Sqrt(float64(sizes[i-1]) * float64(sizes[i])))
+		}
+	}
+	return 2 * sizes[len(sizes)-1]
 }

@@ -68,6 +68,96 @@ func TestAutotuneSingleClusterStillTunes(t *testing.T) {
 	}
 }
 
+// TestAutotuneMeasuresClassSwitchPoints: on a heterogeneous topology the
+// init sweep's per-device-class probes measure an eager/rendez-vous
+// threshold for every represented class, every rank installs the same
+// values, and the thresholds surface as SwitchPoint rows of the
+// crossover-table snapshot.
+func TestAutotuneMeasuresClassSwitchPoints(t *testing.T) {
+	topo := twoClusterTopo(3, 3)
+	topo.Autotune = true
+	sess, err := cluster.Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(func(rank int, comm *mpi.Comm) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := sess.Ranks[0].MPI.ClassSwitchPoints()
+	for _, class := range []string{"san", "wan"} {
+		if want[class] <= 0 {
+			t.Errorf("no measured threshold for class %q: %v", class, want)
+		}
+	}
+	for _, rk := range sess.Ranks[1:] {
+		if !reflect.DeepEqual(rk.MPI.ClassSwitchPoints(), want) {
+			t.Fatalf("rank %d class thresholds %v differ from rank 0's %v",
+				rk.Rank, rk.MPI.ClassSwitchPoints(), want)
+		}
+	}
+	rows := 0
+	for _, tc := range sess.Ranks[0].MPI.TuneSnapshot() {
+		if tc.Op == "SwitchPoint" {
+			rows++
+			if want[tc.Algo] != tc.MaxBytes {
+				t.Errorf("snapshot row %v does not match installed threshold %d", tc, want[tc.Algo])
+			}
+		}
+	}
+	if rows != len(want) {
+		t.Errorf("snapshot has %d SwitchPoint rows, want %d", rows, len(want))
+	}
+}
+
+// TestSwitchPointTuneRoundTrip: SwitchPoint rows survive the persistence
+// path — LoadTuneTable installs them as per-class thresholds and
+// TuneSnapshot exports them back byte-identically.
+func TestSwitchPointTuneRoundTrip(t *testing.T) {
+	table := []mpi.TuneChoice{
+		{Op: "SwitchPoint", MaxBytes: 16 << 10, Algo: "san"},
+		{Op: "SwitchPoint", MaxBytes: 64 << 10, Algo: "wan"},
+	}
+	p := mpi.NewProcess(nil, nil, 0, 1, nil, nil)
+	if err := p.LoadTuneTable(table); err != nil {
+		t.Fatal(err)
+	}
+	got := p.ClassSwitchPoints()
+	if got["san"] != 16<<10 || got["wan"] != 64<<10 {
+		t.Fatalf("ClassSwitchPoints = %v, want san=16K wan=64K", got)
+	}
+	snap := p.TuneSnapshot()
+	if !reflect.DeepEqual(snap, table) {
+		t.Fatalf("TuneSnapshot = %v, want the loaded table %v", snap, table)
+	}
+	p2 := mpi.NewProcess(nil, nil, 0, 1, nil, nil)
+	if err := p2.LoadTuneTable(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p2.ClassSwitchPoints(), got) {
+		t.Fatalf("reloaded thresholds %v differ from %v", p2.ClassSwitchPoints(), got)
+	}
+}
+
+// TestValidateTuneChoicesRejectsBadSwitchRows: the persistence sanity
+// check must reject SwitchPoint rows naming an unknown device class or a
+// non-positive threshold, so a corrupted cache cannot poison sessions.
+func TestValidateTuneChoicesRejectsBadSwitchRows(t *testing.T) {
+	bad := [][]mpi.TuneChoice{
+		{{Op: "SwitchPoint", MaxBytes: 8 << 10, Algo: "quantum"}},
+		{{Op: "SwitchPoint", MaxBytes: 0, Algo: "san"}},
+		{{Op: "SwitchPoint", MaxBytes: -1, Algo: "wan"}},
+	}
+	for _, table := range bad {
+		if err := mpi.ValidateTuneChoices(table); err == nil {
+			t.Errorf("ValidateTuneChoices(%v) = nil, want error", table)
+		}
+	}
+	good := []mpi.TuneChoice{{Op: "SwitchPoint", MaxBytes: 8 << 10, Algo: "smp"}}
+	if err := mpi.ValidateTuneChoices(good); err != nil {
+		t.Errorf("ValidateTuneChoices(%v) = %v, want nil", good, err)
+	}
+}
+
 // TestAutotunedCollectivesStayCorrect: collectives dispatched through the
 // measured table (CollAuto after Autotune) still compute correct results
 // on a contended-backbone topology — the table changes selection, never

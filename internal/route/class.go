@@ -1,0 +1,101 @@
+package route
+
+import "mpichmad/internal/netsim"
+
+// DeviceClass is the transport tier of one edge (or path) in the per-link
+// device mux: the paper's point is that a single MPI session drives a
+// *different* device per link — ch_self within a process, smp_plug within
+// a node, the SAN driver (SISCI, BIP) within a cluster, TCP between
+// clusters — so topology discovery classifies every edge and the routing,
+// tuning and hierarchy layers reason per class instead of assuming one
+// uniform transport.
+type DeviceClass int
+
+const (
+	// ClassSelf is the chself-class intra-process loopback tier.
+	ClassSelf DeviceClass = iota
+	// ClassSMP is the smp-class intra-node shared-memory tier.
+	ClassSMP
+	// ClassSAN is the system-area-network tier carrying intra-cluster
+	// traffic (SISCI/SCI, BIP/Myrinet, and any other non-TCP fabric).
+	ClassSAN
+	// ClassWAN is the TCP-class commodity tier carrying inter-cluster
+	// (backbone, gateway) traffic.
+	ClassWAN
+
+	numDeviceClasses
+)
+
+// deviceClassNames indexes DeviceClass; the strings are the stable
+// identifiers used in tune tables and core.Route.Class tags.
+var deviceClassNames = [numDeviceClasses]string{"self", "smp", "san", "wan"}
+
+// String returns the class's stable name ("self", "smp", "san", "wan").
+func (c DeviceClass) String() string {
+	if c < 0 || c >= numDeviceClasses {
+		return "unknown"
+	}
+	return deviceClassNames[c]
+}
+
+// DeviceClassNames lists every class name in tier order (self, smp, san,
+// wan) — the canonical encoding order for per-class tuning tables.
+func DeviceClassNames() []string {
+	out := make([]string, numDeviceClasses)
+	copy(out, deviceClassNames[:])
+	return out
+}
+
+// ClassByName inverts String; ok=false for an unknown name.
+func ClassByName(name string) (DeviceClass, bool) {
+	for i, n := range deviceClassNames {
+		if n == name {
+			return DeviceClass(i), true
+		}
+	}
+	return 0, false
+}
+
+// ClassOf maps a calibrated cost model to its device class by protocol:
+// "self" and "shm" name the loopback and shared-memory tiers, "tcp" is
+// the commodity inter-cluster tier, and everything else (sisci, bip,
+// custom SAN params) is the system-area tier.
+func ClassOf(p netsim.Params) DeviceClass {
+	switch p.Protocol {
+	case "self":
+		return ClassSelf
+	case "shm":
+		return ClassSMP
+	case "tcp":
+		return ClassWAN
+	}
+	return ClassSAN
+}
+
+// PathClassOf returns the dominating (slowest-tier) device class along a
+// path: a path with any TCP-class hop is TCP-class end to end, otherwise
+// any SAN-class hop makes it SAN-class, and so on. ClassSelf for an empty
+// (self) path.
+func (p *Plan) PathClassOf(hops []Hop) DeviceClass {
+	worst := ClassSelf
+	for _, h := range hops {
+		if c := ClassOf(p.nets[h.Net]); c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// PathSwitchOf returns the smallest native eager->rendez-vous switch
+// point along a path — the largest payload that can ride the eager path
+// on *every* hop. Hops whose params leave SwitchPoint zero (no threshold)
+// don't constrain it; 0 when no hop has one.
+func (p *Plan) PathSwitchOf(hops []Hop) int {
+	sw := 0
+	for _, h := range hops {
+		if s := p.nets[h.Net].SwitchPoint; s > 0 && (sw == 0 || s < sw) {
+			sw = s
+		}
+	}
+	return sw
+}

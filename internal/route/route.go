@@ -6,7 +6,10 @@
 // The edge cost is derived from the calibrated netsim.Params of the
 // network carrying the hop: fixed per-hop cost (wire latency, injection
 // and extraction overheads, ch_mad device handling) plus size-dependent
-// serialization at a reference payload, plus a trunk-contention penalty
+// serialization at a reference payload, plus the device-class transfer
+// mode term (eager intermediary copy at or below the edge's native switch
+// point, rendez-vous handshake above it — see HopCost and class.go),
+// plus a trunk-contention penalty
 // when the network models shared aggregate bandwidth (PR 3's arbiter) —
 // a capped backbone hop is charged its trunk occupancy twice, once for
 // its own serialization and once for the expected queueing behind a
@@ -80,10 +83,24 @@ type Hop struct {
 
 // HopCost is the cost model of one hop over a network, in seconds, for an
 // nBytes payload: fixed per-hop costs plus serialization plus the
-// trunk-contention penalty described in the package comment.
+// trunk-contention penalty described in the package comment, plus the
+// transfer-mode term of the edge's own device class — the cost curve is
+// device-aware, not a uniform reference. A payload at or below the edge's
+// native switch point rides the eager path and pays the class's
+// intermediary copy (CopyTime through the driver's buffers); a larger
+// payload goes rendez-vous and pays the REQUEST/SENDOK handshake (two
+// extra fixed-cost wire crossings) instead. Two edges with identical
+// latency and bandwidth but different switch points or copy rates
+// therefore price the same payload differently, which is what lets the
+// planner tell a SAN-class edge from a TCP-class one.
 func HopCost(p netsim.Params, nBytes int) float64 {
 	fixed := p.WireLatency + p.SendOverhead + p.RecvOverhead + p.DeviceHandling
 	cost := fixed.Seconds() + p.TxTime(nBytes).Seconds()
+	if p.SwitchPoint > 0 && nBytes > p.SwitchPoint {
+		cost += 2 * fixed.Seconds() // rendez-vous: REQUEST out, SENDOK back
+	} else {
+		cost += p.CopyTime(nBytes).Seconds() // eager: intermediary buffer copy
+	}
 	if p.NetworkBandwidth > 0 {
 		trunk := p.TrunkTime(nBytes).Seconds()
 		if wire := p.TxTime(nBytes).Seconds(); trunk > wire {
