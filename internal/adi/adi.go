@@ -119,6 +119,15 @@ type ClassTuner interface {
 	SetClassSwitchPoint(class string, bytes int)
 }
 
+// Auditor is optionally implemented by devices that can verify their
+// protocol invariants once traffic has drained: credit windows back to
+// full, no rendez-vous or reassembly state left open, counters internally
+// consistent. The cluster session audits every device after a clean run —
+// the runtime counterpart of the madlint static checks.
+type Auditor interface {
+	AuditInvariants() error
+}
+
 // unexpected is a queued message that arrived before a matching receive
 // was posted. deliver completes a receive from the stashed message,
 // charging whatever copies the owning device's protocol implies.

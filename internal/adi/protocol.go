@@ -31,19 +31,24 @@ type ChannelDevice interface {
 	Close()
 }
 
+// ctrlKind discriminates the generic protocol engine's control packets.
+// A named type so exhaustiveness of the receive pump's dispatch switch is
+// machine-checkable (madlint/pktswitch).
+type ctrlKind uint8
+
 // Control packet kinds for the generic protocol engine.
 const (
-	cShort    = iota + 1 // envelope + inline payload
-	cEager               // envelope; payload follows on the bulk stream
-	cRndvReq             // envelope + send id ("request" in Fig. 4b)
-	cRndvOK              // send id echo ("Ok_To_Send" in Fig. 4b)
-	cRndvData            // send id; payload follows on the bulk stream
-	cTerm                // shut down the receive pump
+	cShort    ctrlKind = iota + 1 // envelope + inline payload
+	cEager                        // envelope; payload follows on the bulk stream
+	cRndvReq                      // envelope + send id ("request" in Fig. 4b)
+	cRndvOK                       // send id echo ("Ok_To_Send" in Fig. 4b)
+	cRndvData                     // send id; payload follows on the bulk stream
+	cTerm                         // shut down the receive pump
 )
 
 const ctrlFixed = 1 + 4*4 + 4 // kind | env{src,tag,ctx,len} | id
 
-func encodeCtrl(kind int, env Envelope, id uint32, inline []byte) []byte {
+func encodeCtrl(kind ctrlKind, env Envelope, id uint32, inline []byte) []byte {
 	buf := make([]byte, ctrlFixed+len(inline))
 	buf[0] = byte(kind)
 	le := binary.LittleEndian
@@ -56,12 +61,12 @@ func encodeCtrl(kind int, env Envelope, id uint32, inline []byte) []byte {
 	return buf
 }
 
-func decodeCtrl(buf []byte) (kind int, env Envelope, id uint32, inline []byte, err error) {
+func decodeCtrl(buf []byte) (kind ctrlKind, env Envelope, id uint32, inline []byte, err error) {
 	if len(buf) < ctrlFixed {
 		return 0, Envelope{}, 0, nil, fmt.Errorf("adi: truncated control packet (%d bytes)", len(buf))
 	}
 	le := binary.LittleEndian
-	kind = int(buf[0])
+	kind = ctrlKind(buf[0])
 	env = Envelope{
 		Src:     int(int32(le.Uint32(buf[1:]))),
 		Tag:     int(int32(le.Uint32(buf[5:]))),

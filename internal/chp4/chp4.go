@@ -18,10 +18,15 @@ import (
 	"mpichmad/internal/vtime"
 )
 
+// p4Kind discriminates ch_p4's packets on the simulated socket stream.
+// A named type so the delivery dispatch is provably exhaustive
+// (madlint/pktswitch).
+type p4Kind int
+
 // Packet kinds on the simulated socket stream.
 const (
-	pktCtrl = 1
-	pktBulk = 2
+	pktCtrl p4Kind = 1
+	pktBulk p4Kind = 2
 )
 
 // CtlOverhead is ch_p4's per-control-message bookkeeping cost on each
@@ -75,15 +80,18 @@ func NewTransport(p *marcel.Proc, net *netsim.Network, ranks map[int]string) *Tr
 func (t *Transport) deliver(pkt *netsim.Packet) {
 	src, ok := t.rankOf[pkt.Src]
 	if !ok {
-		panic(fmt.Sprintf("chp4: packet from unknown node %q", pkt.Src))
+		panic(fmt.Sprintf("chp4[%s]: packet from unknown node %q", t.proc.Name, pkt.Src))
 	}
-	switch pkt.Kind {
+	switch p4Kind(pkt.Kind) {
 	case pktCtrl:
 		t.ctrl.Push(ctrlMsg{src: src, pkt: pkt.Header})
 	case pktBulk:
 		t.bulkFrom(src).Push(pkt.Body)
 	default:
-		panic("chp4: unknown packet kind")
+		// Same contextual format as ch_mad's dispatch panic: who, which
+		// kind, from which rank/node — diagnosable at 1000 ranks.
+		panic(fmt.Sprintf("chp4[%s]: unknown packet kind %d from rank %d (%s)",
+			t.proc.Name, pkt.Kind, src, pkt.Src))
 	}
 }
 
@@ -108,8 +116,8 @@ func (t *Transport) SendControl(dst int, pkt []byte) {
 	t.proc.Compute(t.params.CopyTime(len(pkt))) // into the socket buffer
 	cp := make([]byte, len(pkt))
 	copy(cp, pkt)
-	if err := t.ep.Send(&netsim.Packet{Dst: node, Kind: pktCtrl, Header: cp}); err != nil {
-		panic(err)
+	if err := t.ep.Send(&netsim.Packet{Dst: node, Kind: int(pktCtrl), Header: cp}); err != nil {
+		panic(fmt.Sprintf("chp4[%s]: control to rank %d (%s): %v", t.proc.Name, dst, node, err))
 	}
 }
 
@@ -121,9 +129,9 @@ func (t *Transport) SendBulk(dst int, data []byte) {
 	t.proc.Compute(t.params.CopyTime(len(data)))
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	pkt := &netsim.Packet{Dst: node, Kind: pktBulk, Body: cp}
+	pkt := &netsim.Packet{Dst: node, Kind: int(pktBulk), Body: cp}
 	if err := t.ep.Send(pkt); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("chp4[%s]: bulk to rank %d (%s): %v", t.proc.Name, dst, node, err))
 	}
 	// Blocking socket semantics: the call returns when the kernel has
 	// consumed the buffer (injection complete).
@@ -148,7 +156,8 @@ func (t *Transport) RecvControl() (int, []byte) {
 func (t *Transport) RecvBulk(src int, dst []byte) {
 	data := t.bulkFrom(src).Pop()
 	if len(data) != len(dst) {
-		panic(fmt.Sprintf("chp4: bulk of %d bytes, expected %d", len(data), len(dst)))
+		panic(fmt.Sprintf("chp4[%s]: bulk from rank %d of %d bytes, expected %d",
+			t.proc.Name, src, len(data), len(dst)))
 	}
 	t.proc.Compute(t.params.RecvOverhead)
 	t.proc.Compute(t.params.CopyTime(len(dst)))

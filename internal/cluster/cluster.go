@@ -716,7 +716,19 @@ func (sess *Session) Run(main func(rank int, comm *mpi.Comm) error) error {
 			return err
 		}
 	}
-	return schedErr
+	if schedErr != nil {
+		return schedErr
+	}
+	// Clean completion: every device's protocol state must have returned
+	// to rest (credit windows full, no rendez-vous left open, counters
+	// consistent) — the Finalize-time invariant audit. A violation here is
+	// a transport bug even though the application saw correct data.
+	for _, rk := range sess.Ranks {
+		if err := rk.MPI.AuditDevices(); err != nil {
+			return fmt.Errorf("post-run invariant audit: %w", err)
+		}
+	}
+	return nil
 }
 
 // Launch is Build followed by Run.

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
-	"sync"
 
 	"mpichmad/internal/mpi"
 	"mpichmad/internal/netsim"
@@ -21,9 +20,10 @@ import (
 )
 
 // TuneCache stores measured crossover tables keyed by topology shape.
-// Safe for concurrent sessions.
+// Sessions run one at a time under the cooperative vtime scheduler, so the
+// cache needs no locking — and the determinism rules (see internal/mpi's
+// package documentation) forbid preemptive sync in simulation packages.
 type TuneCache struct {
-	mu     sync.Mutex
 	tables map[string][]mpi.TuneChoice
 	hits   int
 	misses int
@@ -36,8 +36,6 @@ func NewTuneCache() *TuneCache {
 
 // Lookup returns the cached table for a shape key.
 func (tc *TuneCache) Lookup(key string) ([]mpi.TuneChoice, bool) {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
 	t, ok := tc.tables[key]
 	if ok {
 		tc.hits++
@@ -49,22 +47,16 @@ func (tc *TuneCache) Lookup(key string) ([]mpi.TuneChoice, bool) {
 
 // Store records a measured table under a shape key.
 func (tc *TuneCache) Store(key string, table []mpi.TuneChoice) {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
 	tc.tables[key] = append([]mpi.TuneChoice(nil), table...)
 }
 
 // Stats returns the cache's hit/miss counters (tests, reports).
 func (tc *TuneCache) Stats() (hits, misses int) {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
 	return tc.hits, tc.misses
 }
 
 // Len returns the number of cached tables.
 func (tc *TuneCache) Len() int {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
 	return len(tc.tables)
 }
 
@@ -72,9 +64,7 @@ func (tc *TuneCache) Len() int {
 // a later process can skip the init sweep for topologies it has already
 // measured. Written atomically via a temp file in the same directory.
 func (tc *TuneCache) SaveFile(path string) error {
-	tc.mu.Lock()
 	data, err := json.MarshalIndent(tc.tables, "", "  ")
-	tc.mu.Unlock()
 	if err != nil {
 		return err
 	}

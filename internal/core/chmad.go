@@ -184,6 +184,32 @@ type rndvState struct {
 	scratch   []byte
 }
 
+// segLanding returns the landing area for one pipelined segment
+// [offset, offset+n) of the body. Truncating receives land in a scratch
+// buffer sized to the announced body; either way the bounds are validated
+// against that announcement, so a corrupted header surfaces as a protocol
+// error instead of a slice panic deep in the poll loop.
+func (st *rndvState) segLanding(offset, n int, truncated bool) ([]byte, error) {
+	if offset < 0 || n < 0 || offset+n > st.env.Len {
+		return nil, fmt.Errorf("RNDV segment [%d,%d) outside announced body of %d bytes",
+			offset, offset+n, st.env.Len)
+	}
+	if truncated {
+		if st.scratch == nil {
+			st.scratch = make([]byte, st.env.Len)
+		}
+		return st.scratch[offset : offset+n], nil
+	}
+	return st.r.Buf[offset : offset+n], nil
+}
+
+// segDone marks n landed body bytes and reports whether the transfer is
+// complete.
+func (st *rndvState) segDone(n int) bool {
+	st.remaining -= n
+	return st.remaining <= 0
+}
+
 // New creates a ch_mad device for one process. Channels are added with
 // AddChannel and destinations with AddRoute; call Start once wiring is
 // complete to launch the per-channel polling threads (§4.2.3).
@@ -558,7 +584,7 @@ func (d *Device) pollLoop(ch *madeleine.Channel) {
 		case PktNack:
 			d.inNack(ch, conn, h)
 		default:
-			panic(fmt.Sprintf("ch_mad[%d]: unexpected %s on %s", d.rank, pktName(h.Type), ch.Name))
+			panic(fmt.Sprintf("ch_mad[%d]: unexpected %s on %s", d.rank, h.Type, ch.Name))
 		}
 	}
 }
@@ -882,14 +908,9 @@ func (d *Device) inRndvSeg(ch *madeleine.Channel, conn *madeleine.Connection, h 
 		panic(fmt.Sprintf("ch_mad[%d]: RNDV segment for unknown sync %d", d.rank, h.SyncID))
 	}
 	n, lenErr := adi.CheckLen(st.r, st.env)
-	var landing []byte
-	if lenErr != nil {
-		if st.scratch == nil {
-			st.scratch = make([]byte, st.env.Len)
-		}
-		landing = st.scratch[h.Offset : h.Offset+h.Len]
-	} else {
-		landing = st.r.Buf[h.Offset : h.Offset+h.Len]
+	landing, segErr := st.segLanding(h.Offset, h.Len, lenErr != nil)
+	if segErr != nil {
+		panic(fmt.Sprintf("ch_mad[%d]: sync %d from rank %d: %v", d.rank, h.SyncID, h.SrcRank, segErr))
 	}
 	if err := conn.Unpack(landing, madeleine.SendCheaper, madeleine.ReceiveCheaper); err != nil {
 		panic(err)
@@ -898,8 +919,7 @@ func (d *Device) inRndvSeg(ch *madeleine.Channel, conn *madeleine.Connection, h 
 		panic(err)
 	}
 	d.handling(ch)
-	st.remaining -= h.Len
-	if st.remaining > 0 {
+	if !st.segDone(h.Len) {
 		return
 	}
 	delete(d.rndvRx, h.SyncID)
@@ -1021,6 +1041,9 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 				bodyLen = d.switchPoint
 			}
 		}
+	default:
+		// PktRequest/PktSendOK/PktNack/PktTerm are header-only control
+		// packets: nothing to drain, no relay credit to hold.
 	}
 	drain := func() []byte {
 		var body []byte

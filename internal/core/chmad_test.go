@@ -502,8 +502,8 @@ func TestHeaderRoundtrip(t *testing.T) {
 	if _, err := decodeHeader([]byte{1, 2}); err == nil {
 		t.Fatal("short header accepted")
 	}
-	for _, k := range []int{PktShort, PktRequest, PktSendOK, PktRndv, PktTerm, 99} {
-		if pktName(k) == "" {
+	for _, k := range []PktType{PktShort, PktRequest, PktSendOK, PktRndv, PktTerm, 99} {
+		if k.String() == "" {
 			t.Fatal("empty packet name")
 		}
 	}

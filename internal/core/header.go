@@ -18,12 +18,19 @@ import (
 	"mpichmad/internal/adi"
 )
 
+// PktType discriminates the ch_mad packet types of Fig. 5. Giving the
+// discriminator a named type (instead of a bare int) lets the madlint
+// pktswitch analyzer prove every switch over it is exhaustive: adding a
+// packet type without handling it everywhere becomes a lint-time error
+// instead of a runtime panic at rank 900 of a 1000-rank job.
+type PktType uint8
+
 // ch_mad packet types (Fig. 5).
 const (
 	// PktShort carries eager-mode data: the ADI short-packet header
 	// travels in the ch_mad header buffer, the user data as the
 	// Madeleine message body (the §4.2.2 split).
-	PktShort = iota + 1
+	PktShort PktType = iota + 1
 	// PktRequest opens a rendez-vous: envelope only (Fig. 4b "Request").
 	PktRequest
 	// PktSendOK acknowledges a rendez-vous: carries the receiver's
@@ -61,7 +68,8 @@ const (
 	NackBusy = 1
 )
 
-func pktName(t int) string {
+// String names the packet type as the paper's Fig. 5 spells it.
+func (t PktType) String() string {
 	switch t {
 	case PktShort:
 		return "MAD_SHORT_PKT"
@@ -77,8 +85,9 @@ func pktName(t int) string {
 		return "MAD_RNDVSEG_PKT"
 	case PktNack:
 		return "MAD_NACK_PKT"
+	default:
+		return fmt.Sprintf("pkt(%d)", uint8(t))
 	}
-	return fmt.Sprintf("pkt(%d)", t)
 }
 
 // header is the fixed ch_mad message header, always packed EXPRESS as the
@@ -87,7 +96,7 @@ func pktName(t int) string {
 // body)", §4.2.1). SrcRank/DstRank enable the gateway-forwarding
 // extension (§6 future work).
 type header struct {
-	Type    int
+	Type    PktType
 	SrcRank int
 	DstRank int
 	Tag     int
@@ -135,7 +144,7 @@ func decodeHeader(buf []byte) (header, error) {
 	}
 	le := binary.LittleEndian
 	return header{
-		Type:    int(buf[0]),
+		Type:    PktType(buf[0]),
 		SrcRank: int(int32(le.Uint32(buf[1:]))),
 		DstRank: int(int32(le.Uint32(buf[5:]))),
 		Tag:     int(int32(le.Uint32(buf[9:]))),

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentsDeterministic pins the bit-identical-runs guarantee the
+// madlint determinism rules exist to protect: every source of randomness
+// in the simulator is either eliminated (virtual time, cooperative
+// scheduling, sorted map iterations) or explicitly seeded (netsim's
+// fault-jitter PRNG), so running the same experiment twice in one process
+// must render byte-identical stats tables. A diff here means map order,
+// wall-clock time or an unseeded generator leaked into simulation
+// behavior — exactly the regressions `madlint` hunts statically.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"gateway", GatewayCollectives},
+		{"adaptive", AdaptiveMultipath},
+		{"heteromux", HeteroMux},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			first, err := tc.run()
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			second, err := tc.run()
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if first.Text == second.Text {
+				return
+			}
+			a, b := strings.Split(first.Text, "\n"), strings.Split(second.Text, "\n")
+			for i := 0; i < len(a) || i < len(b); i++ {
+				var la, lb string
+				if i < len(a) {
+					la = a[i]
+				}
+				if i < len(b) {
+					lb = b[i]
+				}
+				if la != lb {
+					t.Errorf("line %d diverged:\n  run1: %s\n  run2: %s", i+1, la, lb)
+				}
+			}
+			if !t.Failed() {
+				t.Error("texts differ but no line diverged (trailing whitespace?)")
+			}
+		})
+	}
+}

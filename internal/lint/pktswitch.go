@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PktSwitch enforces exhaustive dispatch over the simulator's wire-level
+// enumerations: core packet types (PktShort..PktNack), adi control kinds,
+// madeleine and chp4 packet kinds, and any other enum-shaped type. A type
+// counts as enum-shaped when it is a named type with an integer underlying
+// type and at least two package-level constants declared of it. Every
+// switch whose tag has such a type must either list every declared
+// constant or carry an explicit default arm — a silently ignored packet
+// kind is how protocol extensions rot.
+var PktSwitch = &Analyzer{
+	Name: "pktswitch",
+	Doc:  "switches over packet/control-kind enums must cover all constants or have a default",
+	Run:  runPktSwitch,
+}
+
+// enumInfo is the declared constant set of one enum-shaped type.
+type enumInfo struct {
+	consts map[string]string // exact constant value -> first declared name
+}
+
+func runPktSwitch(pass *Pass) []Diagnostic {
+	enums := collectEnums(pass.Pkg.Types)
+	if len(enums) == 0 {
+		return nil
+	}
+
+	var out []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			enum, ok := enums[named.Obj()]
+			if !ok {
+				return true
+			}
+
+			covered := make(map[string]bool)
+			verifiable := true
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					return true // explicit default: exhaustive by construction
+				}
+				for _, e := range cc.List {
+					etv := pass.Pkg.Info.Types[e]
+					if etv.Value == nil {
+						verifiable = false // non-constant case: cannot reason
+						continue
+					}
+					covered[etv.Value.ExactString()] = true
+				}
+			}
+			if !verifiable {
+				return true
+			}
+			var missing []string
+			for val, name := range enum.consts {
+				if !covered[val] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				out = append(out, Diagnostic{Pos: sw.Pos(), Message: fmt.Sprintf(
+					"switch on %s does not handle %s: add the missing cases or an explicit default",
+					named.Obj().Name(), strings.Join(missing, ", "))})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collectEnums indexes the package's enum-shaped types: named integer
+// types with >= 2 package-level constants.
+func collectEnums(pkg *types.Package) map[*types.TypeName]*enumInfo {
+	enums := make(map[*types.TypeName]*enumInfo)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		basic, ok := named.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsInteger == 0 {
+			continue
+		}
+		if named.Obj().Pkg() != pkg {
+			continue
+		}
+		e := enums[named.Obj()]
+		if e == nil {
+			e = &enumInfo{consts: make(map[string]string)}
+			enums[named.Obj()] = e
+		}
+		key := c.Val().ExactString()
+		if _, dup := e.consts[key]; !dup {
+			e.consts[key] = name
+		}
+	}
+	for tn, e := range enums {
+		if len(e.consts) < 2 {
+			delete(enums, tn)
+		}
+	}
+	return enums
+}

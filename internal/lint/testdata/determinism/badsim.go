@@ -1,0 +1,65 @@
+//madlint:simulation
+
+// Package badsim is a madlint self-test fixture. Every construct below
+// compiles fine and violates the determinism rules; the analyzer tests
+// (and the CI self-test) assert that madlint rejects this package.
+package badsim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock leaks the wall clock into simulation state.
+func Clock() int64 { return time.Now().UnixNano() }
+
+// Pause blocks the real OS thread instead of virtual time.
+func Pause() { time.Sleep(time.Millisecond) }
+
+// Jitter draws from the process-global rand source.
+func Jitter() int { return rand.Intn(8) }
+
+// Spawn escapes the scheduler's run token.
+func Spawn(done func()) {
+	go done()
+}
+
+// Guarded smuggles preemptive locking into cooperative code.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump increments under the forbidden lock.
+func (g *Guarded) Bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Pipe builds a native channel.
+func Pipe() chan int {
+	return make(chan int, 1)
+}
+
+// Collect gathers map values in randomized order and never sorts them.
+func Collect(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// CollectSorted is the legal version of Collect: the append-then-sort
+// pattern must NOT be flagged.
+func CollectSorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,12 @@
+//madlint:simulation
+
+package badsim
+
+import "time"
+
+// Stamp exercises the suppression directive: the violation below is
+// acknowledged, so madlint must stay quiet about this one.
+func Stamp() int64 {
+	//madlint:ignore determinism fixture for the suppression path
+	return time.Now().Unix()
+}

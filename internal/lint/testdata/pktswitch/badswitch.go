@@ -1,0 +1,45 @@
+// Package badswitch is a madlint self-test fixture for the pktswitch
+// analyzer: kind is enum-shaped (named integer type, >= 2 package-level
+// constants), so every switch over it must cover all constants or carry
+// a default.
+package badswitch
+
+type kind uint8
+
+const (
+	kShort kind = iota + 1
+	kRndv
+	kTerm
+)
+
+// Dispatch forgets kTerm and has no default arm: flagged.
+func Dispatch(k kind) int {
+	switch k {
+	case kShort:
+		return 1
+	case kRndv:
+		return 2
+	}
+	return 0
+}
+
+// DispatchDefault is exhaustive by construction: not flagged.
+func DispatchDefault(k kind) int {
+	switch k {
+	case kShort:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// DispatchFull covers every constant: not flagged.
+func DispatchFull(k kind) int {
+	switch k {
+	case kShort, kRndv:
+		return 1
+	case kTerm:
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,38 @@
+// Package badctx is a madlint self-test fixture for the vtimectx
+// analyzer: each registration below installs a scheduler-context callback
+// that reaches a vtime-blocking primitive.
+package badctx
+
+import (
+	"mpichmad/internal/netsim"
+	"mpichmad/internal/vtime"
+)
+
+// ArmTimer installs a timer callback that parks on Queue.Pop — but timer
+// callbacks run on the scheduler itself, where there is no task to park:
+// flagged (direct blocking call).
+func ArmTimer(s *vtime.Scheduler, q *vtime.Queue[int], sink func(int)) {
+	s.After(vtime.Duration(10), func() {
+		sink(q.Pop())
+	})
+}
+
+// drain blocks; Subscribe hands it to OnFire through one call hop:
+// flagged (propagated through the call graph).
+func drain(ev *vtime.Event) { ev.Wait() }
+
+// Subscribe registers a fire subscriber that blocks transitively.
+func Subscribe(ev, other *vtime.Event) {
+	other.OnFire(func() { drain(ev) })
+}
+
+// Hook wires a delivery hook that sleeps in virtual time: flagged
+// (OnDeliver assignment).
+func Hook(ep *netsim.Endpoint, s *vtime.Scheduler) {
+	ep.OnDeliver = func(_ *netsim.Packet) { s.Sleep(vtime.Duration(5)) }
+}
+
+// ArmSafe installs a non-blocking callback: not flagged.
+func ArmSafe(s *vtime.Scheduler, ev *vtime.Event) {
+	s.After(vtime.Duration(10), ev.Fire)
+}

@@ -8,10 +8,15 @@ import (
 	"mpichmad/internal/vtime"
 )
 
+// wireKind discriminates Madeleine's packets on the simulated wire
+// (netsim.Packet.Kind is device-defined; this names our values). A named
+// type so the delivery dispatch is provably exhaustive (madlint/pktswitch).
+type wireKind int
+
 // Packet kinds on the simulated wire.
 const (
-	pktHead = 1 // descriptor table + aggregated express/small-cheaper data
-	pktBody = 2 // one standalone block, shipped zero-copy
+	pktHead wireKind = 1 // descriptor table + aggregated express/small-cheaper data
+	pktBody wireKind = 2 // one standalone block, shipped zero-copy
 )
 
 // Instance is the per-process Madeleine library state. One instance per
@@ -99,14 +104,17 @@ func (inst *Instance) Channel(name string) (*Channel, bool) {
 // for BeginUnpacking pickup.
 func (ch *Channel) deliver(pkt *netsim.Packet) {
 	conn := ch.connFor(pkt.Src)
-	switch pkt.Kind {
+	switch wireKind(pkt.Kind) {
 	case pktHead:
 		conn.heads.Push(pkt)
 		ch.incoming.Push(conn)
 	case pktBody:
 		conn.bodies.Push(pkt)
 	default:
-		panic(fmt.Sprintf("madeleine: channel %q: unknown packet kind %d", ch.Name, pkt.Kind))
+		// Same contextual format as ch_mad's dispatch panic: who, on which
+		// channel, which kind, from where — diagnosable at 1000 ranks.
+		panic(fmt.Sprintf("madeleine[%s]: channel %q: unknown packet kind %d from %s",
+			ch.Inst.P.Name, ch.Name, pkt.Kind, pkt.Src))
 	}
 }
 
@@ -220,7 +228,7 @@ func (c *Connection) EndPacking() error {
 	proc.Compute(p.SendOverhead)
 	head := &netsim.Packet{
 		Dst:    c.Remote,
-		Kind:   pktHead,
+		Kind:   int(pktHead),
 		Header: encodeHead(m.seq, m.blocks, m.agg),
 	}
 	if err := c.Ch.ep.Send(head); err != nil {
@@ -232,7 +240,7 @@ func (c *Connection) EndPacking() error {
 	// Body packets, in block order, pipelined behind the head.
 	for _, body := range m.bodies {
 		proc.Compute(p.SendOverhead)
-		pkt := &netsim.Packet{Dst: c.Remote, Kind: pktBody, Body: body}
+		pkt := &netsim.Packet{Dst: c.Remote, Kind: int(pktBody), Body: body}
 		if err := c.Ch.ep.Send(pkt); err != nil {
 			c.sendLock.Release()
 			return err

@@ -114,6 +114,24 @@ func (p *Process) Finalize() error {
 	return nil
 }
 
+// AuditDevices runs the Finalize-time invariant audit on every device of
+// this rank that implements adi.Auditor, returning the first violation.
+// Meaningful only after the simulation has fully drained (a gateway may
+// forward for other ranks after its own Finalize), so the cluster session
+// calls it after the scheduler returns rather than inside Finalize.
+func (p *Process) AuditDevices() error {
+	for _, d := range p.devices {
+		a, ok := d.(adi.Auditor)
+		if !ok {
+			continue
+		}
+		if err := a.AuditInvariants(); err != nil {
+			return fmt.Errorf("mpi: rank %d device %s: %w", p.rank, d.Name(), err)
+		}
+	}
+	return nil
+}
+
 // Comm is an MPI communicator: a process group plus an isolated context.
 // Point-to-point traffic uses ctx, collectives ctx+1, mirroring MPICH's
 // paired context ids.

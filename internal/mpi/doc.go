@@ -180,6 +180,52 @@
 // compile-then-Wait wrappers around their I-twins. Gatherv, Scatterv,
 // Scan and the point-to-point API are unchanged.
 //
+// # Determinism rules
+//
+// The simulator's core guarantee is that a run is a pure function of its
+// inputs: same topology, same program, same seeds — bit-identical stats
+// tables, virtual timestamps and routes, every time. That guarantee is
+// what makes autotuned tables shareable (the TuneCache), experiment
+// output diffable in CI, and rare protocol bugs reproducible at will.
+// Simulation code (everything under internal/ except the linter itself)
+// therefore follows four rules, machine-checked by `go run ./cmd/madlint
+// ./...` (cmd/madlint, analyzers in internal/lint):
+//
+//   - No wall clock. time.Now/Sleep/After read or wait on host time;
+//     simulation code uses vtime.Scheduler's virtual clock exclusively.
+//   - No global math/rand. Anything random draws from an explicitly
+//     seeded generator (netsim.PRNG) owned by the component, so seeds
+//     travel with topologies, not with process start order.
+//   - No preemptive concurrency. Raw `go` statements, sync.Mutex,
+//     sync.WaitGroup and native channels are forbidden outside
+//     internal/vtime: all parallelism is cooperative tasks scheduled by
+//     the run token, which is what makes task interleavings replayable.
+//   - No map-order effects. Iterating a Go map is randomized per run;
+//     loop bodies must not push, fire, send, spawn or print per entry,
+//     and slices collected from a map must be sorted before use
+//     (iterate sorted keys, or append then sort.*).
+//
+// Two further madlint analyzers guard protocol structure: pktswitch
+// proves every switch over an enum-shaped discriminator (core.PktType,
+// adi control kinds, the madeleine/chp4 wire kinds, the collective
+// algorithm/kind tables here) covers every constant or carries an
+// explicit default; vtimectx proves no scheduler-context callback
+// (Scheduler.At/After timers, Event.OnFire subscribers, netsim
+// Endpoint.OnDeliver hooks) can reach a vtime-blocking primitive, which
+// would panic "called outside a running task" at depth. A justified
+// exception is silenced in place with `//madlint:ignore <analyzer>
+// <reason>`; out-of-tree simulation files opt in with
+// `//madlint:simulation`.
+//
+// The runtime counterpart is the Finalize-time invariant audit: after a
+// clean run the cluster session calls Process.AuditDevices, and every
+// device implementing adi.Auditor (ch_mad: core.Device.AuditInvariants)
+// must be back at rest — relay credit window full, no rendez-vous syncs
+// or stripe reassemblies open, drop counters consistent with their
+// breakdown. The vtime scheduler's deadlock detector completes the
+// picture: when no task is runnable and no event pending, Run returns a
+// structured vtime.DeadlockError naming every task and what it waits on.
+//
 // # Migration notes
 //
 // Callers of the former internal algorithm helpers (barrierFlat,

@@ -160,8 +160,9 @@ func (c *Comm) Ibcast(buf []byte, count int, dt Datatype, root int) (*CollReques
 			return c.compileBcastHier(buf, count, dt, root, 0)
 		case algoHierSegmented:
 			return c.compileBcastHier(buf, count, dt, root, c.segmentBytes())
+		default: // algoFlat, and any choice without a bcast compiler
+			return c.compileBcastFlat(buf, count, dt, root)
 		}
-		return c.compileBcastFlat(buf, count, dt, root)
 	})
 }
 
@@ -200,8 +201,9 @@ func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op
 			return c.compileAllreduceRing(sendBuf, recvBuf, count, dt, op)
 		case algoRingHier:
 			return c.compileAllreduceRingHier(sendBuf, recvBuf, count, dt, op)
+		default: // algoFlat, and segmented choices sanitizeAlgo never emits here
+			return c.compileAllreduceFlat(sendBuf, recvBuf, count, dt, op)
 		}
-		return c.compileAllreduceFlat(sendBuf, recvBuf, count, dt, op)
 	})
 }
 
@@ -281,7 +283,8 @@ func (c *Comm) Ialltoall(sendBuf, recvBuf []byte, count int, dt Datatype) (*Coll
 			return c.compileAlltoallHier(sendBuf, recvBuf, count, dt)
 		case algoHier:
 			return c.compileAlltoallHier(sendBuf, recvBuf, count, dt)
+		default: // algoFlat, and any choice without an alltoall compiler
+			return c.compileAlltoallFlat(sendBuf, recvBuf, count, dt)
 		}
-		return c.compileAlltoallFlat(sendBuf, recvBuf, count, dt)
 	})
 }

@@ -190,6 +190,9 @@ func (c *Comm) execSchedule(sch *schedule, tag int) error {
 			case stepCopy:
 				c.p.M.Compute(c.p.memTime(len(st.src)))
 				copy(st.dst, st.src)
+			case stepSend, stepRecv:
+				// Network steps were issued at round start; nothing to
+				// apply locally.
 			}
 		}
 	}

@@ -305,6 +305,8 @@ func (c *Comm) sanitizeAlgo(kind collKind, a collAlgo) collAlgo {
 			a = algoRingHier
 		case algoFlat:
 			a = algoRing
+		case algoRing, algoRingHier:
+			// Already a ring form: runnable as is.
 		}
 	}
 	return a
@@ -341,6 +343,8 @@ func (c *Comm) chooseAlgo(kind collKind, nBytes int) collAlgo {
 		return c.sanitizeAlgo(kind, algoRing)
 	case CollHierRing:
 		return c.sanitizeAlgo(kind, algoRingHier)
+	case CollAuto:
+		// Fall past the switch: measured table, then analytic thresholds.
 	}
 	if tt := c.tuneTable(); tt != nil {
 		if a, ok := tt.lookup(kind, nBytes); ok {
@@ -415,8 +419,9 @@ func (c *Comm) analyticAlgo(kind collKind, nBytes int) collAlgo {
 			return algoFlat
 		}
 		return algoHier
+	default:
+		return algoFlat
 	}
-	return algoFlat
 }
 
 // twoLevelTree builds the rank's position in the two-level spanning tree

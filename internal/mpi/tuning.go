@@ -304,6 +304,9 @@ func (c *Comm) tuneCandidates(kind collKind) []collAlgo {
 		if multi {
 			return []collAlgo{algoRing, algoRingHier}
 		}
+	default:
+		// Barrier, Gather, Reduce: the analytic choice is not worth
+		// second-guessing with timed probes.
 	}
 	return nil
 }
@@ -339,8 +342,9 @@ func (c *Comm) runTuneOp(kind collKind, nBytes int) error {
 		send := make([]byte, per*n)
 		recv := make([]byte, per)
 		return c.ReduceScatter(send, recv, per, Byte, OpMax)
+	default:
+		return fmt.Errorf("mpi: autotune: operation %q is not tunable", kindNames[kind])
 	}
-	return fmt.Errorf("mpi: autotune: operation %q is not tunable", kindNames[kind])
 }
 
 // timeAlgo measures one (operation, algorithm, size) probe: barrier in,
@@ -437,7 +441,7 @@ func (c *Comm) autotune() error {
 		enc = encodeTuneTable(tt)
 		for i, name := range deviceClassNames {
 			if thr, ok := classThr[name]; ok {
-				enc = append(enc, int64(-(i+1)), int64(thr), 0)
+				enc = append(enc, int64(-(i + 1)), int64(thr), 0)
 			}
 		}
 	}

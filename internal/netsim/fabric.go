@@ -2,7 +2,7 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
+	"sort"
 
 	"mpichmad/internal/vtime"
 )
@@ -69,7 +69,7 @@ type Network struct {
 	endpoints map[string]*Endpoint
 	pipes     map[[2]string]*pipe
 	seq       uint64
-	rng       *rand.Rand
+	rng       *PRNG
 	Stats     Stats
 
 	// Shared-trunk arbiter state (Params.NetworkBandwidth > 0): the trunk
@@ -94,14 +94,16 @@ func NewNetwork(s *vtime.Scheduler, name string, p Params) *Network {
 	}
 }
 
-// SetFaults installs a fault plan (tests only).
+// SetFaults installs a fault plan (tests only). The jitter stream is a
+// self-contained seeded PRNG: two networks with equal seeds produce
+// identical jitter no matter what else the process does.
 func (n *Network) SetFaults(f Faults) {
 	n.Faults = f
 	seed := f.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	n.rng = rand.New(rand.NewSource(seed))
+	n.rng = NewPRNG(seed)
 }
 
 // pipe models the directed wire between two endpoints: sender-side
@@ -138,12 +140,14 @@ func (n *Network) Endpoint(node string) (*Endpoint, bool) {
 	return ep, ok
 }
 
-// Nodes returns the attached node names (unordered).
+// Nodes returns the attached node names in lexical order, so callers
+// iterating the fabric see the same sequence every run.
 func (n *Network) Nodes() []string {
 	out := make([]string, 0, len(n.endpoints))
 	for name := range n.endpoints {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,0 +1,38 @@
+package netsim
+
+// PRNG is the simulator's only randomness source: an explicitly seeded
+// splitmix64 stream. Simulation packages must not touch math/rand — the
+// global generator is process-wide mutable state that makes two runs of
+// the same experiment diverge as soon as anything else draws from it
+// (madlint/determinism enforces the ban). A PRNG's sequence depends on
+// nothing but its seed, so fault jitter is bit-identical across runs and
+// across unrelated code changes.
+type PRNG struct {
+	state uint64
+}
+
+// NewPRNG returns a generator seeded with seed (any value is fine,
+// including zero).
+func NewPRNG(seed int64) *PRNG {
+	return &PRNG{state: uint64(seed)}
+}
+
+// next64 advances the splitmix64 stream (Steele et al., the generator
+// Go's runtime and rand v2 use for seeding).
+func (p *PRNG) next64() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63n returns a uniform value in [0, n), n > 0. The modulo bias at
+// simulation-size bounds (jitter spans of microseconds) is far below the
+// cost model's own fidelity, so plain reduction keeps it simple.
+func (p *PRNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("netsim: PRNG.Int63n with non-positive bound")
+	}
+	return int64(p.next64() % uint64(n))
+}

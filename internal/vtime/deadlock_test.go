@@ -1,0 +1,98 @@
+package vtime
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestDeadlockDetectorStructuredDump pins the runtime half of the madlint
+// invariant story: a wedged scheduler must not hang silently — Run returns
+// a *DeadlockError carrying every task's name, state, and wait reason, so
+// a 1000-rank replay names the stuck ranks instead of spinning forever.
+func TestDeadlockDetectorStructuredDump(t *testing.T) {
+	s := New()
+	evA := NewEvent(s, "evA")
+	evB := NewEvent(s, "evB")
+	// The classic two-task cycle: alice waits for the event only bob
+	// fires, bob waits for the event only alice fires.
+	s.Go("alice", func() {
+		evA.Wait()
+		evB.Fire()
+	})
+	s.Go("bob", func() {
+		evB.Wait()
+		evA.Fire()
+	})
+
+	err := s.Run()
+	if err == nil {
+		t.Fatal("want deadlock error, got nil")
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DeadlockError, got %T: %v", err, err)
+	}
+	if len(de.Tasks) != 2 {
+		t.Fatalf("want 2 tasks in the dump, got %d: %+v", len(de.Tasks), de.Tasks)
+	}
+	byName := map[string]TaskState{}
+	for _, ts := range de.Tasks {
+		byName[ts.Name] = ts
+	}
+	for name, wantWait := range map[string]string{
+		"alice": "event evA",
+		"bob":   "event evB",
+	} {
+		ts, ok := byName[name]
+		if !ok {
+			t.Fatalf("task %q missing from dump: %+v", name, de.Tasks)
+		}
+		if ts.State != "blocked" {
+			t.Fatalf("task %q state = %q, want blocked", name, ts.State)
+		}
+		if ts.BlockedOn != wantWait {
+			t.Fatalf("task %q blocked on %q, want %q", name, ts.BlockedOn, wantWait)
+		}
+		if ts.Daemon {
+			t.Fatalf("task %q reported as daemon", name)
+		}
+	}
+	// The rendered report stays diagnosable too (what CI logs show).
+	for _, want := range []string{"deadlock", `"alice"`, "event evA", `"bob"`, "event evB"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, err.Error())
+		}
+	}
+}
+
+// TestDeadlockDumpIncludesDaemons: daemons never keep the simulation
+// alive, but when a deadlock fires they appear in the dump — a polling
+// thread's wait reason is usually the loudest clue.
+func TestDeadlockDumpIncludesDaemons(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "nic.rx")
+	s.GoDaemon("poller", func() { q.Pop() })
+	ev := NewEvent(s, "never")
+	s.Go("main", func() { ev.Wait() })
+
+	var de *DeadlockError
+	if err := s.Run(); !errors.As(err, &de) {
+		t.Fatalf("want *DeadlockError, got %v", err)
+	}
+	found := false
+	for _, ts := range de.Tasks {
+		if ts.Name == "poller" {
+			found = true
+			if !ts.Daemon {
+				t.Fatal("poller not marked as daemon")
+			}
+			if ts.BlockedOn != "queue nic.rx" {
+				t.Fatalf("poller blocked on %q, want %q", ts.BlockedOn, "queue nic.rx")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("daemon missing from dump: %+v", de.Tasks)
+	}
+}

@@ -217,8 +217,7 @@ func (s *Scheduler) Run() error {
 			continue
 		}
 		if s.tmrs.Len() == 0 {
-			return fmt.Errorf("vtime: deadlock at %v: no runnable task, no pending event\n%s",
-				s.now, s.blockedReport())
+			return s.deadlockError()
 		}
 		e := heap.Pop(&s.tmrs).(*timer)
 		if e.when > s.deadline {
@@ -250,24 +249,62 @@ func (s *Scheduler) Run() error {
 	}
 }
 
-// blockedReport lists every live task and what it is blocked on; used in
-// deadlock errors so MPI test failures are diagnosable.
-func (s *Scheduler) blockedReport() string {
+// TaskState is one live task's entry in a DeadlockError dump: enough to
+// tell which rank/thread wedged and what it was waiting for without
+// re-running under a debugger.
+type TaskState struct {
+	ID     int
+	Name   string
+	State  string // "new", "ready", "running", "blocked", "done"
+	Daemon bool
+	// BlockedOn is the human-readable wait reason ("sem n0.cpu",
+	// "queue tcp.incoming", "event bcast.done", "sleep until ...");
+	// empty unless State is "blocked".
+	BlockedOn string
+}
+
+// DeadlockError is the scheduler's structured deadlock report: every live
+// task is blocked and no event is pending, so virtual time can never
+// advance. Tests and tooling match it with errors.As and inspect Tasks
+// instead of parsing the rendered string.
+type DeadlockError struct {
+	Now   Time
+	Tasks []TaskState
+}
+
+// Error renders the classic diagnosable dump: one line per task with its
+// state and wait reason.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vtime: deadlock at %v: no runnable task, no pending event\n", e.Now)
+	for _, ts := range e.Tasks {
+		fmt.Fprintf(&b, "  task %d %q: %s", ts.ID, ts.Name, ts.State)
+		if ts.BlockedOn != "" {
+			fmt.Fprintf(&b, " on %s", ts.BlockedOn)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// deadlockError snapshots every live task, sorted by id, into a
+// DeadlockError.
+func (s *Scheduler) deadlockError() *DeadlockError {
 	ids := make([]int, 0, len(s.tasks))
 	for id := range s.tasks {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	var b strings.Builder
+	e := &DeadlockError{Now: s.now}
 	for _, id := range ids {
 		t := s.tasks[id]
-		fmt.Fprintf(&b, "  task %d %q: %s", t.id, t.name, t.state)
-		if t.state == stateBlocked && t.blockedOn != "" {
-			fmt.Fprintf(&b, " on %s", t.blockedOn)
+		ts := TaskState{ID: t.id, Name: t.name, State: t.state.String(), Daemon: t.daemon}
+		if t.state == stateBlocked {
+			ts.BlockedOn = t.blockedOn
 		}
-		b.WriteByte('\n')
+		e.Tasks = append(e.Tasks, ts)
 	}
-	return b.String()
+	return e
 }
 
 func (s *Scheduler) makeReady(t *Task) {
