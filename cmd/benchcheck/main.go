@@ -13,9 +13,17 @@
 // margin by which the rule missed, so a regression can be triaged from
 // the CI log alone.
 //
+// It also reads BENCH_scale.json (written by BenchmarkScaleMachine) and
+// gates the 1000+-rank scaling story: the routing planner's cost growth
+// from 256 to 1024 ranks must stay below the quadratic 16x on both time
+// and allocated bytes (plan construction itself must stay near-linear),
+// and the full 1024-rank scale experiment must complete within a generous
+// wall-clock ceiling — the regression alarms for the hierarchical
+// routing and lazy-resolution hot paths.
+//
 // Usage:
 //
-//	benchcheck [-f BENCH_collectives.json]
+//	benchcheck [-f BENCH_collectives.json] [-scale BENCH_scale.json]
 package main
 
 import (
@@ -60,8 +68,128 @@ type capRule struct {
 	why           string
 }
 
+// scalePlanner is one machine size's planner cost sample from
+// BENCH_scale.json.
+type scalePlanner struct {
+	Ranks            int   `json:"ranks"`
+	WorkloadNsPerOp  int64 `json:"workload_ns_per_op"`
+	WorkloadBPerOp   int64 `json:"workload_bytes_per_op"`
+	WorkloadAllocs   int64 `json:"workload_allocs_per_op"`
+	ConstructNsPerOp int64 `json:"construct_ns_per_op"`
+}
+
+type scaleFile struct {
+	Experiment string         `json:"experiment"`
+	Planner    []scalePlanner `json:"planner"`
+	RunRanks   int            `json:"run_ranks"`
+	RunWallMs  float64        `json:"run_wall_ms"`
+	Series     []series       `json:"series"`
+}
+
+// Scale-gate bounds. Rank count grows 4x between the two planner samples,
+// so a quadratic planner would grow 16x; the growth rules keep every
+// measured curve strictly below that, with the measured values (~13x
+// workload ns, ~9.1x workload bytes, ~6.8x allocs, ~4.2x construction)
+// leaving real headroom. Allocation ratios are deterministic; the wall
+// ceiling is deliberately generous — it exists to catch the planner
+// falling back to all-pairs work (minutes), not host jitter.
+const (
+	scaleWorkloadNsMaxRatio = 16.0 // quadratic bound on the resolution sweep
+	scaleWorkloadBMaxRatio  = 14.0 // measured 9.1x
+	scaleAllocsMaxRatio     = 12.0 // measured 6.8x
+	scaleConstructMaxRatio  = 8.0  // near-linear construction, measured 4.2x
+	scaleWallCeilingMs      = 30000
+)
+
+// checkScale applies the growth-ratio and wall-clock gates to
+// BENCH_scale.json; returns the number of failed rules.
+func checkScale(file string) int {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	var sf scaleFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		fatal(fmt.Errorf("%s: %w", file, err))
+	}
+	failed := 0
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: "+format+"\n", args...)
+		failed++
+	}
+	if len(sf.Planner) != 2 || sf.Planner[0].Ranks >= sf.Planner[1].Ranks {
+		fail("%s: want two planner samples in increasing rank order, got %+v", file, sf.Planner)
+		return failed
+	}
+	small, big := sf.Planner[0], sf.Planner[1]
+	ratio := func(a, b int64) float64 {
+		if b <= 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	growth := []struct {
+		name     string
+		got, max float64
+		why      string
+	}{
+		{"workload ns/op", ratio(big.WorkloadNsPerOp, small.WorkloadNsPerOp), scaleWorkloadNsMaxRatio,
+			"planner resolution sweep must stay below quadratic growth in ranks"},
+		{"workload B/op", ratio(big.WorkloadBPerOp, small.WorkloadBPerOp), scaleWorkloadBMaxRatio,
+			"planner allocation growth must stay well below quadratic (lazy trees, not all-pairs state)"},
+		{"workload allocs/op", ratio(big.WorkloadAllocs, small.WorkloadAllocs), scaleAllocsMaxRatio,
+			"planner allocation count must stay well below quadratic"},
+		{"construct ns/op", ratio(big.ConstructNsPerOp, small.ConstructNsPerOp), scaleConstructMaxRatio,
+			"bare plan construction must stay near-linear in ranks"},
+	}
+	for _, g := range growth {
+		if g.got <= 0 {
+			fail("%s: %s growth ratio unmeasurable (%d -> %d ranks)", file, g.name, small.Ranks, big.Ranks)
+			continue
+		}
+		if g.got >= g.max {
+			fail("planner %s grew %.2fx from %d to %d ranks (bound %.1fx) — %s",
+				g.name, g.got, small.Ranks, big.Ranks, g.max, g.why)
+		}
+	}
+	if sf.RunWallMs <= 0 {
+		fail("%s: missing run_wall_ms for the %d-rank scale run", file, sf.RunRanks)
+	} else if sf.RunWallMs > scaleWallCeilingMs {
+		fail("the %d-rank scale experiment took %.0f ms of wall clock (ceiling %d ms)",
+			sf.RunRanks, sf.RunWallMs, scaleWallCeilingMs)
+	}
+	// The simulated sweeps are deterministic: both collectives must have
+	// rendered non-trivial times, and Bcast must stay cheaper than
+	// Allreduce at every common size (it moves half the traffic).
+	bySeries := make(map[string]map[int]float64)
+	for _, s := range sf.Series {
+		m := make(map[int]float64)
+		for _, p := range s.Points {
+			if p.VirtualUS <= 0 {
+				fail("%s: series %s has a non-positive simulated time at %d B", file, s.Name, p.SizeBytes)
+			}
+			m[p.SizeBytes] = p.VirtualUS
+		}
+		bySeries[s.Name] = m
+	}
+	ar, okA := bySeries["Allreduce"]
+	bc, okB := bySeries["Bcast"]
+	if !okA || !okB {
+		fail("%s: want Allreduce and Bcast series, got %d series", file, len(sf.Series))
+	} else {
+		for size, a := range ar {
+			if b, ok := bc[size]; ok && b >= a {
+				fail("Bcast (%.1f us) is not cheaper than Allreduce (%.1f us) at %d B on the scale machine",
+					b, a, size)
+			}
+		}
+	}
+	return failed
+}
+
 func main() {
 	file := flag.String("f", "BENCH_collectives.json", "bench series file to check")
+	scaleF := flag.String("scale", "BENCH_scale.json", "scale bench file to check (\"\" to skip)")
 	flag.Parse()
 
 	data, err := os.ReadFile(*file)
@@ -205,10 +333,17 @@ func main() {
 			failed++
 		}
 	}
-	if failed > 0 {
+	scaleFailed := 0
+	if *scaleF != "" {
+		scaleFailed = checkScale(*scaleF)
+	}
+	if failed+scaleFailed > 0 {
 		os.Exit(1)
 	}
 	fmt.Printf("benchcheck: %d rules and %d caps hold on %s\n", len(rules), len(caps), *file)
+	if *scaleF != "" {
+		fmt.Printf("benchcheck: scale growth, wall-clock and collective gates hold on %s\n", *scaleF)
+	}
 }
 
 func fatal(err error) {

@@ -162,10 +162,14 @@ type Session struct {
 	graph      route.Graph         // the proc graph the plan was computed on
 	maxPaths   int                 // resolved Topology.MaxPaths
 	segCap     int                 // global backbone-segment cap (uniform sessions only; 0 = per-path clamping)
-	classes    [][]string          // rank x rank device-class names (per-link mux)
-	devs       []*core.Device      // rank -> ch_mad device (nil for ch_p4)
-	chanOf     []map[string]*madeleine.Channel
-	rankErr    []error
+	// classMemo caches routed link classes of the session's *current* plan
+	// by (source bloc, destination bloc) — on a congestion-free plan the
+	// class is a bloc invariant, so the cache stays O(blocs²) no matter how
+	// many rank pairs are queried. Reset whenever the plan changes.
+	classMemo map[[2]int]string
+	devs      []*core.Device // rank -> ch_mad device (nil for ch_p4)
+	chanOf    []map[string]*madeleine.Channel
+	rankErr   []error
 }
 
 // Build wires a session from a topology.
@@ -332,7 +336,7 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 	}
 	plan := route.ComputeOpts(g, route.Options{RefBytes: route.DefaultRefBytes, MaxPaths: sess.maxPaths})
 	sess.plan = plan
-	sess.classifyLinks(plan)
+	sess.bindLinkClasses()
 	sess.installRoutes(plan)
 
 	// Bound every gateway's store-and-forward queue (admission control);
@@ -382,7 +386,12 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 		}
 		w.rank.MPI = mpi.NewProcess(w.rank.Proc, w.rank.Eng, r, size, route, devices)
 		w.rank.MPI.SetHierarchy(hier)
-		w.rank.MPI.SetLinkClasses(sess.classes[r])
+		// The class resolver binds the build-time plan on purpose: the
+		// eager table it replaces was captured here and never refreshed by
+		// Replan, and the per-process memo pins those frozen semantics.
+		w.rank.MPI.SetLinkClassResolver(func(dst int) string {
+			return sess.linkClassIn(plan, rr, dst)
+		})
 		if !uniform {
 			w.rank.MPI.SetClassProbes(probes)
 		}
@@ -391,50 +400,73 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 	return nil
 }
 
-// classifyLinks assigns every ordered rank pair its device class — the
-// per-link device mux's topology discovery: intra-process pairs are
+// bindLinkClasses resets the session's link-class cache for the current
+// plan. Classes themselves are resolved lazily per queried pair (the
+// per-link device mux's topology discovery): intra-process pairs are
 // chself-class, intra-node pairs smp-class (when the mux wires smp_plug),
 // and routed pairs take the dominating class of their planned path
-// (SAN-class intra-cluster, TCP-class across a commodity backbone).
-// Unroutable pairs stay unclassified ("").
-func (sess *Session) classifyLinks(plan *route.Plan) {
-	size := len(sess.places)
-	classes := make([][]string, size)
-	for r := range classes {
-		row := make([]string, size)
-		for dst := 0; dst < size; dst++ {
-			switch {
-			case dst == r:
-				row[dst] = route.ClassSelf.String()
-			case sess.places[dst].node == sess.places[r].node && !sess.Topo.Uniform:
-				row[dst] = route.ClassSMP.String()
-			default:
-				if hops, ok := plan.Path(r, dst); ok {
-					row[dst] = plan.PathClassOf(hops).String()
-				}
-			}
-		}
-		classes[r] = row
+// (SAN-class intra-cluster, TCP-class across a commodity backbone) —
+// memoized per bloc pair, since on a congestion-free plan co-bloc ranks
+// route through identical network sequences. Unroutable pairs stay
+// unclassified ("").
+func (sess *Session) bindLinkClasses() {
+	sess.classMemo = make(map[[2]int]string)
+}
+
+// linkClassIn resolves the device class of the src->dst link under a
+// given plan — the lazy replacement for one cell of the old N×N class
+// matrix, byte-identical per pair.
+func (sess *Session) linkClassIn(plan *route.Plan, src, dst int) string {
+	if dst < 0 || dst >= len(sess.places) {
+		return ""
 	}
-	sess.classes = classes
+	switch {
+	case dst == src:
+		return route.ClassSelf.String()
+	case sess.places[dst].node == sess.places[src].node && !sess.Topo.Uniform:
+		return route.ClassSMP.String()
+	}
+	if !plan.Congested() {
+		// Bloc-invariant on a congestion-free plan: memoize per bloc pair.
+		// The memo is shared across congestion-free plans of the session —
+		// they are computed from the same graph and options, so their
+		// routed classes coincide.
+		key := [2]int{plan.BlocOf(src), plan.BlocOf(dst)}
+		if c, ok := sess.classMemo[key]; ok {
+			return c
+		}
+		c := ""
+		if hops, ok := plan.Path(src, dst); ok {
+			c = plan.PathClassOf(hops).String()
+		}
+		sess.classMemo[key] = c
+		return c
+	}
+	if hops, ok := plan.Path(src, dst); ok {
+		return plan.PathClassOf(hops).String()
+	}
+	return ""
 }
 
 // LinkClassOf returns the device class of the link from src toward dst
 // ("self", "smp", "san", "wan"), "" for ch_p4 sessions or unroutable
-// pairs.
+// pairs. Resolved against the session's current plan.
 func (sess *Session) LinkClassOf(src, dst int) string {
-	if sess.classes == nil {
+	if sess.plan == nil {
 		return ""
 	}
-	return sess.classes[src][dst]
+	return sess.linkClassIn(sess.plan, src, dst)
 }
 
 // classProbes picks, per inter-node device class present in the session,
 // the lowest ordered rank pair of that class: the representative pair the
 // MPI_Init autotuner times to measure the class's eager/rendez-vous
-// crossover. Deterministic, so every rank installs the identical list.
+// crossover — one probe per class, not a sweep over every pair.
+// Deterministic, so every rank installs the identical list. The scan
+// resolves classes lazily through the bloc memo, so even the exhaustive
+// no-such-class case costs O(N²) cache hits, not O(N²) path walks.
 func (sess *Session) classProbes() []mpi.ClassProbe {
-	if sess.classes == nil {
+	if sess.plan == nil {
 		return nil
 	}
 	size := len(sess.places)
@@ -443,7 +475,7 @@ func (sess *Session) classProbes() []mpi.ClassProbe {
 		found := false
 		for i := 0; i < size && !found; i++ {
 			for j := i + 1; j < size && !found; j++ {
-				if sess.classes[i][j] == class {
+				if sess.LinkClassOf(i, j) == class {
 					probes = append(probes, mpi.ClassProbe{Class: class, A: i, B: j})
 					found = true
 				}
@@ -453,10 +485,14 @@ func (sess *Session) classProbes() []mpi.ClassProbe {
 	return probes
 }
 
-// installRoutes installs every rank's routes and rails from a plan,
-// replacing whatever was wired before (shared by Build and Replan).
-// Intra-node pairs normally ride smp_plug and get no ch_mad route; the
-// uniform ch_mad-only ablation routes them through the device too.
+// installRoutes points every rank's device at a lazy rail resolver bound
+// to the given plan, replacing whatever was wired before (shared by Build
+// and Replan — for a re-plan this doubles as the O(1) cache flush that
+// makes the new routes take effect immediately). Rails are resolved per
+// destination on first use, so a session only ever pays for the pairs
+// that actually communicate. Intra-node pairs normally ride smp_plug and
+// get no ch_mad route; the uniform ch_mad-only ablation routes them
+// through the device too.
 func (sess *Session) installRoutes(plan *route.Plan) {
 	size := len(sess.places)
 	for r := 0; r < size; r++ {
@@ -464,15 +500,16 @@ func (sess *Session) installRoutes(plan *route.Plan) {
 		if dev == nil {
 			continue
 		}
-		for dst := 0; dst < size; dst++ {
-			if dst == r {
-				continue
+		r := r
+		dev.SetRailSource(func(dst int) []core.Route {
+			if dst == r || dst < 0 || dst >= size {
+				return nil
 			}
 			if sess.places[dst].node == sess.places[r].node && !sess.Topo.Uniform {
-				continue
+				return nil
 			}
-			dev.SetRails(dst, sess.railsFor(plan, r, dst))
-		}
+			return sess.railsFor(plan, r, dst)
+		})
 	}
 }
 
@@ -566,7 +603,7 @@ func (sess *Session) Replan() *route.Plan {
 		Congestion: cong,
 	})
 	sess.plan = plan
-	sess.classifyLinks(plan)
+	sess.bindLinkClasses()
 	sess.installRoutes(plan)
 	if sess.hier != nil {
 		sess.electLeaders(sess.hier)

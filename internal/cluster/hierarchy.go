@@ -93,6 +93,15 @@ func (sess *Session) discoverHierarchy(maxSegment int) *mpi.Hierarchy {
 // hop the lowest-rank convention would pay. Needs the routing plan
 // (ch_mad sessions); single-cluster jobs and the ObliviousLeaders
 // ablation keep the default lowest-rank leaders.
+//
+// On a congestion-free plan only one candidate per routing bloc is
+// evaluated: co-bloc members have identical hop and cost sums to every
+// outside rank (swapping them is a graph automorphism), and the
+// strict-improvement rule below keeps the earliest optimum, so skipping
+// the later co-members cannot change the winner — it just cuts the
+// election from O(members) to O(blocs) candidates per cluster. Congested
+// plans (adaptive re-plans) carry per-rank congestion terms that break
+// the symmetry, so there every member is still scored exactly.
 func (sess *Session) electLeaders(h *mpi.Hierarchy) {
 	if sess.plan == nil || len(h.ClusterNames) < 2 || sess.Topo.ObliviousLeaders {
 		return
@@ -102,10 +111,22 @@ func (sess *Session) electLeaders(h *mpi.Hierarchy) {
 	for r, c := range h.ClusterOf {
 		members[c] = append(members[c], r)
 	}
+	byBloc := !sess.plan.Congested()
 	leaders := make([]int, nc)
 	for c, ms := range members {
 		best, bestHops, bestCost := -1, 0, 0.0
+		var scored map[int]bool
+		if byBloc {
+			scored = make(map[int]bool, 4)
+		}
 		for _, r := range ms {
+			if byBloc {
+				b := sess.plan.BlocOf(r)
+				if scored[b] {
+					continue // co-bloc: identical sums, cannot beat its representative
+				}
+				scored[b] = true
+			}
 			hops, cost, reach := 0, 0.0, true
 			for s, sc := range h.ClusterOf {
 				if sc == c {

@@ -75,6 +75,15 @@ type Device struct {
 	// names. Destinations without an entry have the single primary route.
 	rails map[int][]Route
 
+	// railSource, when set, resolves a destination's rails on first use
+	// (SetRailSource): routes/rails then act as the cache of resolved
+	// destinations, so a 1000-rank session never installs the quadratic
+	// all-pairs route table — only the pairs that actually talk. A
+	// destination the source resolves to nothing is remembered in railMiss
+	// so unroutable sends stay O(1) too.
+	railSource func(dst int) []Route
+	railMiss   map[int]bool
+
 	// switchPoint is the device-wide eager->rendez-vous threshold elected
 	// by ElectSwitchPoint — the single value the ADI's MPID_Device
 	// structure historically allowed (§4.2.2). With the per-link device
@@ -245,6 +254,41 @@ func (d *Device) AddChannel(ch *madeleine.Channel) {
 func (d *Device) AddRoute(rank int, r Route) {
 	d.routes[rank] = r
 	delete(d.rails, rank)
+	delete(d.railMiss, rank)
+}
+
+// SetRailSource installs a lazy rail resolver and drops every cached
+// route: subsequent lookups resolve destinations on first use through fn
+// and cache the result. Called by the cluster wiring at build time and
+// again on every re-plan (the reinstall-everything of the eager scheme
+// becomes an O(1) cache flush).
+func (d *Device) SetRailSource(fn func(dst int) []Route) {
+	d.railSource = fn
+	d.routes = make(map[int]Route)
+	d.rails = make(map[int][]Route)
+	d.railMiss = make(map[int]bool)
+}
+
+// ensureRoute resolves dst through the rail source if it is not cached
+// yet. Resolution is pure computation (no virtual-time events), so it is
+// safe from polling threads and cannot perturb schedule determinism —
+// lazily resolved sessions replay eager sessions exactly.
+func (d *Device) ensureRoute(dst int) {
+	if d.railSource == nil || d.railMiss[dst] {
+		return
+	}
+	if _, ok := d.routes[dst]; ok {
+		return
+	}
+	rs := d.railSource(dst)
+	if len(rs) == 0 {
+		d.railMiss[dst] = true
+		return
+	}
+	d.routes[dst] = rs[0]
+	if len(rs) > 1 {
+		d.rails[dst] = append([]Route(nil), rs...)
+	}
 }
 
 // SetRails installs the full ordered set of edge-disjoint routes toward a
@@ -253,6 +297,7 @@ func (d *Device) AddRoute(rank int, r Route) {
 // rendez-vous bodies over. Called by the cluster wiring and by adaptive
 // re-plans; an empty rs removes the destination entirely.
 func (d *Device) SetRails(rank int, rs []Route) {
+	delete(d.railMiss, rank)
 	if len(rs) == 0 {
 		delete(d.routes, rank)
 		delete(d.rails, rank)
@@ -269,6 +314,7 @@ func (d *Device) SetRails(rank int, rs []Route) {
 // Rails returns every installed route toward a destination, primary
 // first; nil when the destination is unroutable.
 func (d *Device) Rails(rank int) []Route {
+	d.ensureRoute(rank)
 	if rs, ok := d.rails[rank]; ok {
 		return rs
 	}
@@ -284,6 +330,7 @@ func (d *Device) Channels() []*madeleine.Channel { return d.channels }
 // RouteTo returns the route used to reach a destination world rank,
 // ok=false when the destination is unroutable from this process.
 func (d *Device) RouteTo(dst int) (Route, bool) {
+	d.ensureRoute(dst)
 	rt, ok := d.routes[dst]
 	return rt, ok
 }
@@ -293,7 +340,7 @@ func (d *Device) RouteTo(dst int) (Route, bool) {
 // Topology-aware layers (hierarchy discovery, tuning tables, diagnostics)
 // use it to tell fast intra-cluster routes from slow backbone ones.
 func (d *Device) RouteNet(dst int) (name string, params netsim.Params, ok bool) {
-	rt, ok := d.routes[dst]
+	rt, ok := d.RouteTo(dst)
 	if !ok || rt.Channel == nil {
 		return "", netsim.Params{}, false
 	}
@@ -346,7 +393,7 @@ func (d *Device) SwitchPointTo(dst int) int {
 	if d.forcedSwitch || !d.PerLinkSwitch {
 		return d.switchPoint
 	}
-	rt, ok := d.routes[dst]
+	rt, ok := d.RouteTo(dst)
 	if !ok {
 		return d.switchPoint
 	}
@@ -448,7 +495,7 @@ func (d *Device) Shutdown() {
 // locally complete for the eager path; rendez-vous completion is signalled
 // asynchronously via sr.Done.
 func (d *Device) Send(sr *adi.SendReq) {
-	rt, ok := d.routes[sr.Dst]
+	rt, ok := d.RouteTo(sr.Dst)
 	if !ok {
 		sr.Err = fmt.Errorf("ch_mad: rank %d has no route to rank %d", d.rank, sr.Dst)
 		sr.Done.Fire()
@@ -549,12 +596,16 @@ func (d *Device) sendHeaderOnly(rt Route, h header) error {
 // by incoming packets run on temporary threads, "because deadlock
 // situations might appear" if the poller blocked in a send.
 func (d *Device) pollLoop(ch *madeleine.Channel) {
+	// One header landing buffer for the lifetime of the polling thread:
+	// Unpack copies the express block out of the head packet synchronously
+	// and only this thread writes hbuf, so reusing it is safe and saves an
+	// allocation per received message.
+	hbuf := make([]byte, HeaderSize)
 	for {
 		conn, err := ch.BeginUnpacking()
 		if err != nil {
 			panic(fmt.Sprintf("ch_mad[%d] poll %s: %v", d.rank, ch.Name, err))
 		}
-		hbuf := make([]byte, HeaderSize)
 		if err := conn.Unpack(hbuf, madeleine.SendCheaper, madeleine.ReceiveExpress); err != nil {
 			panic(fmt.Sprintf("ch_mad[%d] poll %s: %v", d.rank, ch.Name, err))
 		}
@@ -663,7 +714,7 @@ func (d *Device) replySendOK(req header, r *adi.RecvReq, env adi.Envelope) {
 	d.nextSync++
 	sync := d.nextSync
 	d.rndvRx[sync] = &rndvState{r: r, env: env, remaining: env.Len}
-	back, ok := d.routes[req.SrcRank]
+	back, ok := d.RouteTo(req.SrcRank)
 	if !ok {
 		adi.FinishRecv(r, env, fmt.Errorf("ch_mad: no return route to rank %d", req.SrcRank))
 		return
@@ -697,7 +748,7 @@ func (d *Device) inSendOK(ch *madeleine.Channel, conn *madeleine.Connection, h h
 	}
 	delete(d.pending, h.ReqID)
 	delete(d.retries, h.ReqID)
-	rt := d.routes[sr.Dst]
+	rt, _ := d.RouteTo(sr.Dst)
 	if d.RelayPipelining && rt.Hops > 1 && rt.SegBytes > 0 && len(sr.Data) > rt.SegBytes {
 		if rails := d.Rails(sr.Dst); d.RelayStriping && len(rails) > 1 {
 			d.sendRndvStriped(sr, rails, h.SyncID)
@@ -986,7 +1037,7 @@ func (d *Device) inNack(ch *madeleine.Channel, conn *madeleine.Connection, h hea
 			if d.pending[reqID] != sr {
 				return // completed or failed while backing off
 			}
-			rt, ok := d.routes[sr.Dst]
+			rt, ok := d.RouteTo(sr.Dst)
 			if !ok {
 				delete(d.pending, reqID)
 				delete(d.retries, reqID)
@@ -1155,9 +1206,15 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 // beats purity — the shortest non-backtracking rail, or as a last resort
 // the preferred rail, carries the segment at the price of extra hops.
 func (d *Device) railFor(h header, from string) (Route, bool) {
-	rails := d.Rails(h.DstRank)
-	if len(rails) == 0 {
-		return Route{}, false
+	d.ensureRoute(h.DstRank)
+	rails, multi := d.rails[h.DstRank]
+	if !multi {
+		// Single-route fast path: no rail slice to consult (and none
+		// allocated — this runs per relayed packet). The selection loop
+		// below would return the lone route unconditionally (it is the
+		// preferred rail and the last resort alike), so just do that.
+		rt, ok := d.routes[h.DstRank]
+		return rt, ok
 	}
 	pref := h.PathID % len(rails)
 	fits := func(rt Route) bool {
@@ -1188,7 +1245,7 @@ func (d *Device) railFor(h header, from string) (Route, bool) {
 // nackSender refuses a relayed rendez-vous request back to its sender
 // with the given reason code (carried in the nack's Context field).
 func (d *Device) nackSender(h header, reason int) {
-	back, ok := d.routes[h.SrcRank]
+	back, ok := d.RouteTo(h.SrcRank)
 	if !ok {
 		return // cannot even reach the sender; the counters record it
 	}
@@ -1225,7 +1282,7 @@ func (d *Device) relayNoRoute(h header) {
 // SendTerm emits a MAD_TERM_PKT to a neighbour's channel, terminating its
 // polling loop (used by orderly shutdown tests).
 func (d *Device) SendTerm(dst int) error {
-	rt, ok := d.routes[dst]
+	rt, ok := d.RouteTo(dst)
 	if !ok {
 		return fmt.Errorf("ch_mad: no route to rank %d", dst)
 	}

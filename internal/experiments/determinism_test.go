@@ -13,6 +13,18 @@ import (
 // must render byte-identical stats tables. A diff here means map order,
 // wall-clock time or an unseeded generator leaked into simulation
 // behavior — exactly the regressions `madlint` hunts statically.
+// scaleDeterminismRun pins determinism of the scale experiment. Under the
+// race detector a single 1024-rank run costs ~35 s, which pushes the whole
+// package past go test's default 10-minute budget, so the race build
+// exercises the same code paths — bloc routing, lazy rails and classes,
+// capped backbone, leader election — on a quarter-size machine.
+func scaleDeterminismRun() (*Result, error) {
+	if raceDetectorOn {
+		return scaleAt(16, 16)
+	}
+	return Scale()
+}
+
 func TestExperimentsDeterministic(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -21,6 +33,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"gateway", GatewayCollectives},
 		{"adaptive", AdaptiveMultipath},
 		{"heteromux", HeteroMux},
+		{"scale", scaleDeterminismRun},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			first, err := tc.run()

@@ -633,6 +633,7 @@ func All() ([]*Result, error) {
 		GatewayCollectives,
 		AdaptiveMultipath,
 		HeteroMux,
+		Scale,
 	}
 	for _, g := range gens {
 		r, err := g()
@@ -681,6 +682,8 @@ func ByID(id string) (*Result, error) {
 		return AdaptiveMultipath()
 	case "heteromux":
 		return HeteroMux()
+	case "scale":
+		return Scale()
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q (see DESIGN.md experiment index)", id)
 }

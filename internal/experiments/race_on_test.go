@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceDetectorOn reports whether this test binary was built with -race.
+// The race build trades machine size for instrumentation overhead in the
+// heaviest tests; see determinism_test.go.
+const raceDetectorOn = true

@@ -55,9 +55,16 @@ type Process struct {
 	// classProbes lists the representative rank pairs the autotuner times
 	// to measure per-class eager thresholds, identical on every rank;
 	// classSwitch holds the measured per-class thresholds once installed.
-	linkClass   []string
-	classProbes []ClassProbe
-	classSwitch map[string]int
+	// linkClassFn/linkClassMemo are the lazy alternative at scale: the
+	// session installs a resolver instead of an N-entry table, and each
+	// destination's class is resolved on first query and memoized for the
+	// life of the process (matching the eager table's frozen-at-build
+	// semantics across re-plans).
+	linkClass     []string
+	linkClassFn   func(dst int) string
+	linkClassMemo map[int]string
+	classProbes   []ClassProbe
+	classSwitch   map[string]int
 
 	memcpyBW  float64
 	finalized bool

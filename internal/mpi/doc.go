@@ -74,6 +74,28 @@
 // injections, trading the per-bundle rendez-vous handshakes for
 // overlapped staging and transfer.
 //
+// # Routing at scale (1000+ ranks)
+//
+// Since the scale overhaul the planner no longer materializes all-pairs
+// state. internal/route groups ranks into "blocs" — maximal sets with
+// identical network signatures, interchangeable under a graph
+// automorphism — and runs one quotient-graph Dijkstra per source bloc,
+// lazily on first query, instead of N rank-level sweeps: on the scale
+// machine (64 islands x 16 ranks = 1024 ranks behind one backbone) that
+// is 128 blocs, and Plan.NextHop/Path/Cost resolve hierarchically with
+// unchanged signatures and bit-identical results (pinned against the
+// dense reference planner by a property test). Everything downstream is
+// equally lazy: devices resolve rails through a per-destination resolver
+// and cache them (a re-plan is an O(1) cache flush, not an O(N²)
+// reinstall), link classes are memoized per bloc pair, leader election
+// scores one candidate per bloc, and the autotuner keeps probing one
+// representative pair per device class — so a session only ever pays for
+// the pairs that actually communicate. The growth is machine-checked:
+// BenchmarkScaleMachine samples the planner at 256 and 1024 ranks into
+// BENCH_scale.json and cmd/benchcheck fails CI if the cost ratio
+// approaches quadratic or the 1024-rank scale experiment exceeds its
+// wall-clock ceiling.
+//
 // # Adaptive re-routing, striping, and admission control
 //
 // Since the multi-path refactor the route->relay->collective stack is a
@@ -119,8 +141,12 @@
 // classifies every ordered rank pair into a device class — "self"
 // (intra-process, chself), "smp" (intra-node, smp_plug), "san"
 // (intra-cluster SAN such as SCI or Myrinet/BIP) or "wan" (a commodity
-// backbone) — and installs the classification on each rank
-// (Process.SetLinkClasses / LinkClassOf). Three layers consume it:
+// backbone) — and installs the classification on each rank: small
+// sessions may still hand over an eager table (Process.SetLinkClasses),
+// the cluster wiring installs a lazy resolver
+// (Process.SetLinkClassResolver) that classifies each destination on the
+// first LinkClassOf query and memoizes it for the life of the process.
+// Three layers consume it:
 //
 //   - Routing: internal/route's edge costs are device-aware — an eager
 //     payload pays the class's intermediary-copy cost, a rendez-vous

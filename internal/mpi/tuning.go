@@ -70,15 +70,45 @@ type ClassProbe struct {
 // per-class threshold installer. Called by the cluster wiring.
 func (p *Process) SetLinkClasses(classes []string) {
 	p.linkClass = append([]string(nil), classes...)
+	p.linkClassFn, p.linkClassMemo = nil, nil
+}
+
+// SetLinkClassResolver installs a lazy per-destination class resolver in
+// place of the eager N-entry table: LinkClassOf consults fn on the first
+// query for a destination and memoizes the answer for the life of the
+// process. The memo is deliberately never invalidated — the eager table
+// was captured at build time and survived re-plans unchanged, and the
+// lazy path pins the same frozen semantics.
+func (p *Process) SetLinkClassResolver(fn func(dst int) string) {
+	p.linkClass = nil
+	p.linkClassFn = fn
+	p.linkClassMemo = nil
 }
 
 // LinkClassOf returns the device class of the link toward a world rank,
 // "" when the session didn't install the mux classification.
 func (p *Process) LinkClassOf(dst int) string {
-	if p.linkClass == nil || dst < 0 || dst >= len(p.linkClass) {
+	if dst < 0 || dst >= p.size {
 		return ""
 	}
-	return p.linkClass[dst]
+	if p.linkClass != nil {
+		if dst >= len(p.linkClass) {
+			return ""
+		}
+		return p.linkClass[dst]
+	}
+	if p.linkClassFn == nil {
+		return ""
+	}
+	if c, ok := p.linkClassMemo[dst]; ok {
+		return c
+	}
+	c := p.linkClassFn(dst)
+	if p.linkClassMemo == nil {
+		p.linkClassMemo = make(map[int]string)
+	}
+	p.linkClassMemo[dst] = c
+	return c
 }
 
 // SetClassProbes installs the per-class autotuner probe pairs; every rank

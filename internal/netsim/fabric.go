@@ -76,11 +76,30 @@ type Network struct {
 	// is a single FIFO resource every packet must reserve, in injection
 	// order, before its pipe serialization can complete. trunkEnds holds
 	// the completion times of packets still in or waiting for the trunk —
-	// monotone, because reservations are FIFO — so occupancy is tracked
-	// by pruning the finished front at Send time instead of scheduling a
-	// per-packet callback.
+	// monotone, because reservations are FIFO — as a head-index ring:
+	// live entries are trunkEnds[trunkHead:], the finished front is pruned
+	// incrementally by advancing trunkHead at Send time (no per-packet
+	// callback, no reslicing that strands the backing array), and the dead
+	// prefix is compacted once it dominates so memory stays bounded by the
+	// peak trunk occupancy rather than the total packet count.
 	trunkBusyUntil vtime.Time
 	trunkEnds      []vtime.Time
+	trunkHead      int
+}
+
+// trunkOccupancy prunes completed reservations off the front of the ring
+// and returns the number of packets still in or waiting for the trunk.
+func (n *Network) trunkOccupancy() int {
+	for n.trunkHead < len(n.trunkEnds) && n.trunkEnds[n.trunkHead] <= n.S.Now() {
+		n.trunkHead++
+	}
+	if n.trunkHead == len(n.trunkEnds) {
+		n.trunkEnds, n.trunkHead = n.trunkEnds[:0], 0
+	} else if n.trunkHead >= 64 && n.trunkHead > len(n.trunkEnds)-n.trunkHead {
+		m := copy(n.trunkEnds, n.trunkEnds[n.trunkHead:])
+		n.trunkEnds, n.trunkHead = n.trunkEnds[:m], 0
+	}
+	return len(n.trunkEnds) - n.trunkHead
 }
 
 // NewNetwork creates a network with the given cost model.
@@ -206,12 +225,10 @@ func (ep *Endpoint) Send(pkt *Packet) error {
 		}
 		trunkEnd := txStart.Add(trunkSer)
 		n.trunkBusyUntil = trunkEnd
-		for len(n.trunkEnds) > 0 && n.trunkEnds[0] <= n.S.Now() {
-			n.trunkEnds = n.trunkEnds[1:]
-		}
+		occ := n.trunkOccupancy() + 1
 		n.trunkEnds = append(n.trunkEnds, trunkEnd)
-		if len(n.trunkEnds) > n.Stats.TrunkPeak {
-			n.Stats.TrunkPeak = len(n.trunkEnds)
+		if occ > n.Stats.TrunkPeak {
+			n.Stats.TrunkPeak = occ
 		}
 	}
 	txEnd := txStart.Add(ser)

@@ -1,6 +1,6 @@
 // Package route is the cost-model routing subsystem between the fabric
-// (netsim) and the cluster wiring: it computes full shortest-cost paths
-// for every ordered rank pair over the proc/network graph, replacing the
+// (netsim) and the cluster wiring: it answers shortest-cost path queries
+// for ordered rank pairs over the proc/network graph, replacing the
 // hop-count BFS the §6 forwarding extension started with.
 //
 // The edge cost is derived from the calibrated netsim.Params of the
@@ -16,6 +16,35 @@
 // competing crossing. Paths therefore prefer one fast-fabric hop over a
 // slow bridge, and an uncontended bridge over a contended one, which is
 // what gateway-aware leader election needs.
+//
+// # Scaling model
+//
+// The planner no longer materializes all-pairs dist/prev matrices. Plan
+// construction is O(N + nets): it only indexes attachments and partitions
+// the ranks into blocs — maximal groups with identical network
+// signatures (e.g. "the 15 non-gateway members of cluster 12"). All
+// shortest-path state is computed lazily and hierarchically:
+//
+//   - Congestion-free plans route over the quotient graph whose nodes are
+//     blocs (a 64-cluster × 16-rank machine has ~129 blocs, not 1024
+//     ranks). One Dijkstra per source *bloc* is computed on first use and
+//     shared by every co-member, because distances out of a bloc are
+//     independent of which member asks: co-members are interchangeable
+//     under the graph automorphism that swaps them, and a detour through
+//     a co-member always costs strictly more than leaving directly.
+//     Rank-level paths are reconstructed from the bloc chain on demand
+//     (the representative of each interior bloc relays), reproducing the
+//     dense planner's deterministic tie-breaks exactly — see bloc.go.
+//   - Congested plans (re-plans fed by per-rank relay observations) break
+//     bloc symmetry, so they fall back to one heap-based Dijkstra with
+//     real adjacency per *queried source*, memoized — still never the
+//     eager all-sources sweep (ranktree.go).
+//   - Edge-disjoint alternates (Paths with MaxPaths > 1) need per-pair
+//     banned-edge searches and use the same heap Dijkstra, cached per
+//     ordered pair as before.
+//
+// The dense all-pairs implementation is retained in dense.go purely as
+// the reference for the eager==lazy equivalence property test.
 //
 // Since the multi-path refactor the planner is no longer single-path or
 // open-loop:
@@ -125,9 +154,10 @@ func keyOf(a, b int, net string) edgeKey {
 	return edgeKey{lo: a, hi: b, net: net}
 }
 
-// Plan is the computed routing: per-source shortest-cost trees over the
-// proc graph, queryable per ordered pair, plus up to MaxPaths
-// edge-disjoint alternates per pair.
+// Plan is the computed routing state: the indexed graph, its bloc
+// partition, and lazily-built shortest-cost trees (per source bloc for
+// congestion-free plans, per source rank otherwise), queryable per
+// ordered pair, plus up to MaxPaths edge-disjoint alternates per pair.
 type Plan struct {
 	n          int
 	ref        int
@@ -137,24 +167,58 @@ type Plan struct {
 	netNames   []string // sorted, for deterministic iteration
 	netCost    map[string]float64
 	attached   []map[string]bool
-	prev       [][]int    // prev[src][v]: predecessor of v on the path from src (-1 at src, -2 unreachable)
-	prevNet    [][]string // prevNet[src][v]: network carrying prev[src][v] -> v
-	dist       [][]float64
+	netMembers map[string][]int // attached ranks per net, ascending
 
-	alt map[[2]int][][]Hop // lazily computed disjoint path sets per pair
+	// Integer-indexed mirrors of the string-keyed tables, in netNames
+	// order (so ascending net id == ascending net name): the lazy
+	// Dijkstras walk these instead of hashing strings in their inner
+	// loops.
+	netIdx         map[string]int
+	netCostByID    []float64
+	netMembersByID [][]int // attached ranks per net id, ascending
+	blocSigIDs     [][]int // per bloc, attached net ids ascending
+
+	// Bloc partition: blocOf[r] is the bloc id of rank r; blocs are
+	// numbered in ascending order of their lowest member, so a bloc's id
+	// order equals its representative-rank order.
+	blocOf       []int
+	blocs        []bloc
+	netBlocsByID [][]int // attached bloc ids per net id, ascending
+
+	qts map[int]*quotientTree // lazily built per source bloc (congestion-free)
+	rts map[int]*rankTree     // lazily built per source rank (congested fallback)
+	alt map[[2]int][][]Hop    // lazily computed disjoint path sets per pair
 }
 
-// Compute plans all-pairs shortest-cost paths at the given reference
+// bloc is one equivalence class of ranks with identical network
+// signatures. members is ascending; members[0] is the representative that
+// relays when the bloc sits interior on a routed path.
+type bloc struct {
+	members []int
+	sig     []string // sorted net names, no duplicates
+}
+
+// Compute plans shortest-cost routing state at the given reference
 // payload size (DefaultRefBytes when refBytes <= 0) with the classic
 // single-path, congestion-free options.
 func Compute(g Graph, refBytes int) *Plan {
 	return ComputeOpts(g, Options{RefBytes: refBytes})
 }
 
-// ComputeOpts plans all-pairs shortest-cost paths under the given options.
-// Runs Dijkstra from every source; topologies are small (ranks, not
-// hosts), so the dense O(N^3) is fine.
+// ComputeOpts builds the routing state under the given options. This is
+// O(N + nets): attachment indexes and the bloc partition only. All
+// shortest-path trees are computed lazily on first query and cached —
+// per source bloc when congestion-free, per source rank otherwise.
 func ComputeOpts(g Graph, opts Options) *Plan {
+	p := newPlan(g, opts)
+	p.buildBlocs(g)
+	return p
+}
+
+// newPlan indexes the graph: per-network reference costs, per-rank
+// attachment sets, and per-network member lists (the real adjacency the
+// lazy Dijkstras walk).
+func newPlan(g Graph, opts Options) *Plan {
 	if opts.RefBytes <= 0 {
 		opts.RefBytes = DefaultRefBytes
 	}
@@ -166,9 +230,8 @@ func ComputeOpts(g Graph, opts Options) *Plan {
 		ref:      opts.RefBytes,
 		maxPaths: opts.MaxPaths,
 		nets:     g.Nets,
-		prev:     make([][]int, g.N),
-		prevNet:  make([][]string, g.N),
-		dist:     make([][]float64, g.N),
+		qts:      make(map[int]*quotientTree),
+		rts:      make(map[int]*rankTree),
 		alt:      make(map[[2]int][][]Hop),
 	}
 	if opts.Congestion != nil {
@@ -176,8 +239,6 @@ func ComputeOpts(g Graph, opts Options) *Plan {
 		copy(p.congestion, opts.Congestion)
 	}
 
-	// Per-network cost at the reference size, and the cheapest edge between
-	// every pair (cost, then name, for determinism).
 	netCost := make(map[string]float64, len(g.Nets))
 	names := make([]string, 0, len(g.Nets))
 	for name, params := range g.Nets {
@@ -186,76 +247,43 @@ func ComputeOpts(g Graph, opts Options) *Plan {
 	}
 	sort.Strings(names)
 	attached := make([]map[string]bool, g.N)
+	members := make(map[string][]int, len(g.Nets))
 	for i := 0; i < g.N; i++ {
 		attached[i] = make(map[string]bool, len(g.NetsOf[i]))
 		for _, nm := range g.NetsOf[i] {
-			attached[i][nm] = true
+			if !attached[i][nm] {
+				attached[i][nm] = true
+				members[nm] = append(members[nm], i)
+			}
 		}
 	}
-	p.netNames, p.netCost, p.attached = names, netCost, attached
-
-	for src := 0; src < g.N; src++ {
-		p.dist[src], p.prev[src], p.prevNet[src] = p.shortestFrom(src, nil)
+	p.netNames, p.netCost, p.attached, p.netMembers = names, netCost, attached, members
+	p.netIdx = make(map[string]int, len(names))
+	p.netCostByID = make([]float64, len(names))
+	p.netMembersByID = make([][]int, len(names))
+	for i, nm := range names {
+		p.netIdx[nm] = i
+		p.netCostByID[i] = netCost[nm]
+		p.netMembersByID[i] = members[nm]
 	}
 	return p
 }
 
 const unreached = -2
 
-// shortestFrom runs one deterministic Dijkstra from src, skipping banned
-// (pair, network) edges. Every hop leaving a non-source rank additionally
-// pays that rank's congestion term — the relay feedback.
-func (p *Plan) shortestFrom(src int, banned map[edgeKey]bool) (dist []float64, prev []int, prevNet []string) {
-	dist = make([]float64, p.n)
-	prev = make([]int, p.n)
-	prevNet = make([]string, p.n)
-	done := make([]bool, p.n)
-	for i := range prev {
-		prev[i] = unreached
-		dist[i] = -1
-	}
-	dist[src], prev[src] = 0, -1
-	for {
-		cur := -1
-		for v := 0; v < p.n; v++ {
-			if done[v] || prev[v] == unreached {
-				continue
-			}
-			if cur == -1 || dist[v] < dist[cur] {
-				cur = v // ties keep the lower rank: v ascends
-			}
-		}
-		if cur == -1 {
-			break
-		}
-		done[cur] = true
-		relay := 0.0
-		if cur != src && p.congestion != nil {
-			relay = p.congestion[cur] // cur would store-and-forward this hop
-		}
-		for v := 0; v < p.n; v++ {
-			if v == cur || done[v] {
-				continue
-			}
-			nm, c, ok := p.cheapestEdge(cur, v, banned)
-			if !ok {
-				continue
-			}
-			nd := dist[cur] + c + relay
-			if prev[v] == unreached || nd < dist[v] ||
-				(nd == dist[v] && cur < prev[v]) {
-				dist[v], prev[v], prevNet[v] = nd, cur, nm
-			}
-		}
-	}
-	return dist, prev, prevNet
-}
-
 // cheapestEdge returns the cheapest non-banned network both procs are
 // attached to and its hop cost at the reference payload.
 func (p *Plan) cheapestEdge(a, b int, banned map[edgeKey]bool) (net string, cost float64, ok bool) {
-	for _, nm := range p.netNames {
-		if !p.attached[a][nm] || !p.attached[b][nm] {
+	// Iterate the smaller attachment set in sorted-name order (signatures
+	// are sorted): same min-cost-then-earliest-name result as scanning
+	// every network, without touching the ones neither proc is on.
+	small, big := a, b
+	if len(p.sigOf(b)) < len(p.sigOf(a)) {
+		small, big = b, a
+	}
+	other := p.attached[big]
+	for _, nm := range p.sigOf(small) {
+		if !other[nm] {
 			continue
 		}
 		if banned != nil && banned[keyOf(a, b, nm)] {
@@ -266,6 +294,11 @@ func (p *Plan) cheapestEdge(a, b int, banned map[edgeKey]bool) (net string, cost
 		}
 	}
 	return net, cost, ok
+}
+
+// sigOf returns rank r's sorted, deduplicated network signature.
+func (p *Plan) sigOf(r int) []string {
+	return p.blocs[p.blocOf[r]].sig
 }
 
 // DirectEdge returns the cheapest network both procs are attached to and
@@ -295,19 +328,56 @@ func (p *Plan) CongestionOf(rank int) float64 {
 	return p.congestion[rank]
 }
 
+// Congested reports whether the plan was computed with relay-congestion
+// feedback. Congestion terms are per rank, which breaks the bloc symmetry
+// the hierarchical resolver relies on, so congested plans answer from
+// per-source rank trees instead (and bloc-aggregated consumers like
+// leader election must fall back to exact per-member queries).
+func (p *Plan) Congested() bool { return p.congestion != nil }
+
+// useHier reports whether queries resolve over the bloc quotient graph.
+func (p *Plan) useHier() bool { return p.congestion == nil }
+
 // Routable reports whether dst is reachable from src.
 func (p *Plan) Routable(src, dst int) bool {
-	return src == dst || p.prev[src][dst] != -2
+	if src == dst {
+		return true
+	}
+	if p.useHier() {
+		bs, bd := p.blocOf[src], p.blocOf[dst]
+		if bs == bd {
+			_, _, ok := p.cheapestEdge(src, dst, nil)
+			return ok
+		}
+		return p.quotientFor(bs).prevNR[bd] != unreached
+	}
+	return p.rankTreeFor(src).prev[dst] != unreached
 }
 
 // Cost returns the path cost in seconds at the reference payload
 // (including any congestion terms the plan was computed with); ok=false
 // when unroutable.
 func (p *Plan) Cost(src, dst int) (float64, bool) {
-	if !p.Routable(src, dst) {
+	if src == dst {
+		return 0, true
+	}
+	if p.useHier() {
+		bs, bd := p.blocOf[src], p.blocOf[dst]
+		if bs == bd {
+			_, c, ok := p.cheapestEdge(src, dst, nil)
+			return c, ok
+		}
+		t := p.quotientFor(bs)
+		if t.prevNR[bd] == unreached {
+			return 0, false
+		}
+		return t.dist[bd], true
+	}
+	t := p.rankTreeFor(src)
+	if t.prev[dst] == unreached {
 		return 0, false
 	}
-	return p.dist[src][dst], true
+	return t.dist[dst], true
 }
 
 // Path returns the hops from src to dst, excluding src and including dst;
@@ -316,14 +386,18 @@ func (p *Plan) Path(src, dst int) ([]Hop, bool) {
 	if src == dst {
 		return nil, true
 	}
-	if !p.Routable(src, dst) {
+	if p.useHier() {
+		return p.hierPath(src, dst)
+	}
+	t := p.rankTreeFor(src)
+	if t.prev[dst] == unreached {
 		return nil, false
 	}
-	return p.pathFrom(p.prev[src], p.prevNet[src], src, dst), true
+	return pathFrom(t.prev, t.prevNet, src, dst), true
 }
 
 // pathFrom reconstructs the src->dst hop list from one Dijkstra result.
-func (p *Plan) pathFrom(prev []int, prevNet []string, src, dst int) []Hop {
+func pathFrom(prev []int, prevNet []string, src, dst int) []Hop {
 	var rev []Hop
 	for v := dst; v != src; v = prev[v] {
 		rev = append(rev, Hop{Rank: v, Net: prevNet[v]})
@@ -344,27 +418,29 @@ func (p *Plan) Paths(src, dst int) ([][]Hop, bool) {
 	if src == dst {
 		return nil, true
 	}
-	if !p.Routable(src, dst) {
+	primary, ok := p.Path(src, dst)
+	if !ok {
 		return nil, false
 	}
 	key := [2]int{src, dst}
 	if cached, ok := p.alt[key]; ok {
 		return cached, true
 	}
-	primary := p.pathFrom(p.prev[src], p.prevNet[src], src, dst)
 	paths := [][]Hop{primary}
-	banned := make(map[edgeKey]bool)
-	for len(paths) < p.maxPaths {
-		at := src
-		for _, h := range paths[len(paths)-1] {
-			banned[keyOf(at, h.Rank, h.Net)] = true
-			at = h.Rank
+	if p.maxPaths > 1 {
+		banned := make(map[edgeKey]bool)
+		for len(paths) < p.maxPaths {
+			at := src
+			for _, h := range paths[len(paths)-1] {
+				banned[keyOf(at, h.Rank, h.Net)] = true
+				at = h.Rank
+			}
+			t := p.dijkstraFrom(src, banned)
+			if t.prev[dst] == unreached {
+				break // the residual graph disconnects: no further disjoint rail
+			}
+			paths = append(paths, pathFrom(t.prev, t.prevNet, src, dst))
 		}
-		_, prev, prevNet := p.shortestFrom(src, banned)
-		if prev[dst] == unreached {
-			break // the residual graph disconnects: no further disjoint rail
-		}
-		paths = append(paths, p.pathFrom(prev, prevNet, src, dst))
 	}
 	p.alt[key] = paths
 	return paths, true
@@ -373,6 +449,16 @@ func (p *Plan) Paths(src, dst int) ([][]Hop, bool) {
 // Hops returns the path length from src to dst (1 = direct neighbours,
 // 0 = self), or -1 when unroutable.
 func (p *Plan) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	if p.useHier() {
+		n, ok := p.hierHops(src, dst)
+		if !ok {
+			return -1
+		}
+		return n
+	}
 	hops, ok := p.Path(src, dst)
 	if !ok {
 		return -1

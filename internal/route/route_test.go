@@ -138,8 +138,174 @@ func TestPlanDeterministic(t *testing.T) {
 	for iter := 0; iter < 10; iter++ {
 		g := randomGraph(rng, 6)
 		a, b := Compute(g, DefaultRefBytes), Compute(g, DefaultRefBytes)
-		if !reflect.DeepEqual(a.prev, b.prev) || !reflect.DeepEqual(a.prevNet, b.prevNet) {
-			t.Fatalf("iter %d: plans differ", iter)
+		for s := 0; s < g.N; s++ {
+			for d := 0; d < g.N; d++ {
+				pa, oka := a.Path(s, d)
+				pb, okb := b.Path(s, d)
+				if oka != okb || !reflect.DeepEqual(pa, pb) {
+					t.Fatalf("iter %d: Path(%d,%d) differs between identical plans", iter, s, d)
+				}
+				ca, _ := a.Cost(s, d)
+				cb, _ := b.Cost(s, d)
+				if ca != cb {
+					t.Fatalf("iter %d: Cost(%d,%d) differs between identical plans", iter, s, d)
+				}
+			}
+		}
+	}
+}
+
+// randomClusterGraph builds a clusters-of-clusters topology like the ones
+// the session wires at scale: each cluster on its own fabric preset, a
+// random subset of gateway ranks per cluster on one or two (sometimes
+// trunk-capped) backbones. Heavy bloc structure — exactly what the
+// hierarchical resolver exploits — while gateway choices keep plenty of
+// asymmetry.
+func randomClusterGraph(rng *rand.Rand, maxRanks int) Graph {
+	presets := []func() netsim.Params{
+		netsim.FastEthernetTCP, netsim.SCISISCI, netsim.MyrinetBIP,
+	}
+	g := Graph{Nets: make(map[string]netsim.Params)}
+	nBackbones := rng.Intn(2) + 1
+	backbones := make([]string, nBackbones)
+	for b := range backbones {
+		name := "bb" + string(rune('0'+b))
+		p := netsim.FastEthernetTCP()
+		if rng.Intn(2) == 0 {
+			p.NetworkBandwidth = p.Bandwidth // capped trunk
+		}
+		g.Nets[name] = p
+		backbones[b] = name
+	}
+	nClusters := rng.Intn(6) + 1
+	for c := 0; c < nClusters && g.N < maxRanks; c++ {
+		fabric := "cl" + string(rune('0'+c))
+		g.Nets[fabric] = presets[rng.Intn(len(presets))]()
+		size := rng.Intn(16) + 1
+		if g.N+size > maxRanks {
+			size = maxRanks - g.N
+		}
+		for m := 0; m < size; m++ {
+			nets := []string{fabric}
+			for _, bb := range backbones {
+				if rng.Intn(4) == 0 { // this member is a gateway
+					nets = append(nets, bb)
+				}
+			}
+			g.NetsOf = append(g.NetsOf, nets)
+			g.N++
+		}
+	}
+	return g
+}
+
+// TestHierarchicalMatchesDense is the eager==lazy equivalence property
+// test: on random multi-cluster topologies (and on the unstructured
+// random graphs, where almost every rank is its own bloc), the lazy
+// hierarchical plan answers Routable/Cost/Path/NextHop/Hops/Paths
+// byte-identically to the retained dense all-pairs reference — including
+// exact float equality of costs and the deterministic tie-breaks — with
+// and without congestion feedback, across MaxPaths settings.
+func TestHierarchicalMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 60; iter++ {
+		var g Graph
+		if iter%3 == 0 {
+			g = randomGraph(rng, rng.Intn(15)+2)
+		} else {
+			g = randomClusterGraph(rng, 64)
+		}
+		opts := Options{MaxPaths: rng.Intn(3) + 1}
+		if iter%4 == 3 {
+			opts.Congestion = make([]float64, g.N)
+			for r := range opts.Congestion {
+				if rng.Intn(3) == 0 {
+					opts.Congestion[r] = float64(rng.Intn(10)) * 1e-3
+				}
+			}
+		}
+		lazy := ComputeOpts(g, opts)
+		dense := computeDense(g, opts)
+		for s := 0; s < g.N; s++ {
+			for d := 0; d < g.N; d++ {
+				if lazy.Routable(s, d) != dense.routable(s, d) {
+					t.Fatalf("iter %d: Routable(%d,%d): lazy %v, dense %v",
+						iter, s, d, lazy.Routable(s, d), dense.routable(s, d))
+				}
+				lc, lok := lazy.Cost(s, d)
+				dc, dok := dense.cost(s, d)
+				if lok != dok || lc != dc {
+					t.Fatalf("iter %d: Cost(%d,%d): lazy %v/%v, dense %v/%v",
+						iter, s, d, lc, lok, dc, dok)
+				}
+				lp, lok := lazy.Path(s, d)
+				dp, dok := dense.path(s, d)
+				if lok != dok || !reflect.DeepEqual(lp, dp) {
+					t.Fatalf("iter %d: Path(%d,%d): lazy %v, dense %v", iter, s, d, lp, dp)
+				}
+				if got, want := lazy.Hops(s, d), -1; dok {
+					want = len(dp)
+					if s == d {
+						want = 0
+					}
+					if got != want {
+						t.Fatalf("iter %d: Hops(%d,%d) = %d, dense path has %d", iter, s, d, got, want)
+					}
+				} else if got != want {
+					t.Fatalf("iter %d: Hops(%d,%d) = %d for unroutable pair", iter, s, d, got)
+				}
+				if s != d {
+					lr, ln, lok := lazy.NextHop(s, d)
+					if lok != (dok && len(dp) > 0) {
+						t.Fatalf("iter %d: NextHop(%d,%d) ok=%v, dense %v", iter, s, d, lok, dok)
+					}
+					if lok && (lr != dp[0].Rank || ln != dp[0].Net) {
+						t.Fatalf("iter %d: NextHop(%d,%d) = (%d,%s), dense (%d,%s)",
+							iter, s, d, lr, ln, dp[0].Rank, dp[0].Net)
+					}
+				}
+				lps, lok := lazy.Paths(s, d)
+				dps, dok := dense.paths(s, d)
+				if lok != dok || !reflect.DeepEqual(lps, dps) {
+					t.Fatalf("iter %d: Paths(%d,%d): lazy %v, dense %v", iter, s, d, lps, dps)
+				}
+			}
+		}
+	}
+}
+
+// TestBlocInvariants: co-members of a bloc share their signature, and on
+// congestion-free plans every member answers external queries identically
+// to the bloc representative — the contract bloc-aggregated leader
+// election relies on.
+func TestBlocInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 20; iter++ {
+		g := randomClusterGraph(rng, 48)
+		plan := Compute(g, DefaultRefBytes)
+		for b := 0; b < plan.BlocCount(); b++ {
+			members := plan.BlocMembers(b)
+			repr := members[0]
+			for _, m := range members {
+				if plan.BlocOf(m) != b {
+					t.Fatalf("iter %d: BlocOf(%d) = %d, want %d", iter, m, plan.BlocOf(m), b)
+				}
+				for d := 0; d < g.N; d++ {
+					if plan.BlocOf(d) == b {
+						continue
+					}
+					mc, mok := plan.Cost(m, d)
+					rc, rok := plan.Cost(repr, d)
+					if mok != rok || mc != rc {
+						t.Fatalf("iter %d: Cost(%d,%d)=%v/%v but Cost(%d,%d)=%v/%v within bloc %d",
+							iter, m, d, mc, mok, repr, d, rc, rok, b)
+					}
+					if plan.Hops(m, d) != plan.Hops(repr, d) {
+						t.Fatalf("iter %d: Hops(%d,%d)=%d but Hops(%d,%d)=%d within bloc %d",
+							iter, m, d, plan.Hops(m, d), repr, d, plan.Hops(repr, d), b)
+					}
+				}
+			}
 		}
 	}
 }

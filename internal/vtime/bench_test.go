@@ -57,6 +57,28 @@ func BenchmarkSemHandoff(b *testing.B) {
 	}
 }
 
+// BenchmarkReadyQueueThroughput stresses the scheduler's ready-queue ring
+// with a deep queue: hundreds of tasks yielding in round-robin, so every
+// scheduling decision pops from a long FIFO. With the old copy-down pop
+// this was O(depth) per switch; the head-index ring makes it O(1), which
+// is what keeps 1000-rank simulations event-bound instead of queue-bound.
+func BenchmarkReadyQueueThroughput(b *testing.B) {
+	const tasks = 512
+	s := New()
+	rounds := b.N/tasks + 1
+	for w := 0; w < tasks; w++ {
+		s.Go("spinner", func() {
+			for i := 0; i < rounds; i++ {
+				s.Yield()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkSpawnJoin(b *testing.B) {
 	s := New()
 	s.Go("main", func() {

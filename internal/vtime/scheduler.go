@@ -103,10 +103,16 @@ func (h *timerHeap) Pop() interface{} {
 // and Go-before-Run must be called from inside a running task (or, where
 // documented, from an At callback).
 type Scheduler struct {
-	now  Time
-	seq  uint64
-	rdy  []*Task
-	tmrs timerHeap
+	now Time
+	seq uint64
+	// rdy is the FIFO ready queue as a head-index ring: live entries are
+	// rdy[rdyHead:], pops advance rdyHead in O(1), and the dead prefix is
+	// compacted away once it dominates the slice so the backing array stays
+	// bounded by the peak queue depth (the old copy-down pop was O(n) per
+	// scheduling decision — the simulator's hot path at thousands of tasks).
+	rdy     []*Task
+	rdyHead int
+	tmrs    timerHeap
 
 	running *Task
 	park    chan struct{}
@@ -205,10 +211,8 @@ func (s *Scheduler) Run() error {
 		if s.live == 0 {
 			return nil
 		}
-		if len(s.rdy) > 0 {
-			t := s.rdy[0]
-			copy(s.rdy, s.rdy[1:])
-			s.rdy = s.rdy[:len(s.rdy)-1]
+		if s.rdyHead < len(s.rdy) {
+			t := s.popReady()
 			t.state = stateRunning
 			s.running = t
 			t.resume <- struct{}{}
@@ -305,6 +309,26 @@ func (s *Scheduler) deadlockError() *DeadlockError {
 		e.Tasks = append(e.Tasks, ts)
 	}
 	return e
+}
+
+// popReady dequeues the next ready task in FIFO order. Amortized O(1):
+// the head index advances past consumed entries, and the dead prefix is
+// dropped either when the queue drains (the common case — reset and reuse
+// the whole backing array) or when it outgrows the live tail.
+func (s *Scheduler) popReady() *Task {
+	t := s.rdy[s.rdyHead]
+	s.rdy[s.rdyHead] = nil // release for GC
+	s.rdyHead++
+	if s.rdyHead == len(s.rdy) {
+		s.rdy, s.rdyHead = s.rdy[:0], 0
+	} else if s.rdyHead >= 64 && s.rdyHead > len(s.rdy)-s.rdyHead {
+		n := copy(s.rdy, s.rdy[s.rdyHead:])
+		for i := n; i < len(s.rdy); i++ {
+			s.rdy[i] = nil
+		}
+		s.rdy, s.rdyHead = s.rdy[:n], 0
+	}
+	return t
 }
 
 func (s *Scheduler) makeReady(t *Task) {
