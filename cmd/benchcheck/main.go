@@ -21,9 +21,17 @@
 // wall-clock ceiling — the regression alarms for the hierarchical
 // routing and lazy-resolution hot paths.
 //
+// With -scaleseed it additionally compares the regenerated scale file's
+// simulated series against a seed snapshot (the committed BENCH_scale.json
+// of the base revision): every virtual time must stay within 2% of the
+// seed. The simulation is deterministic, so any drift at all means the
+// change perturbed transport behavior — the gate CI uses to prove that
+// disabled tracing costs nothing on the scale machine.
+//
 // Usage:
 //
 //	benchcheck [-f BENCH_collectives.json] [-scale BENCH_scale.json]
+//	           [-scaleseed BENCH_scale_seed.json]
 package main
 
 import (
@@ -187,9 +195,86 @@ func checkScale(file string) int {
 	return failed
 }
 
+// scaleSeedTolerance bounds how far the regenerated scale series may
+// drift from the seed snapshot: 2%. Virtual times are deterministic, so
+// the expected drift is exactly zero; the headroom only absorbs a seed
+// captured before an intentional, reviewed cost-model change.
+const scaleSeedTolerance = 0.02
+
+// checkScaleSeed compares the regenerated scale file's simulated series
+// point-by-point against the seed snapshot; returns the number of failed
+// comparisons.
+func checkScaleSeed(file, seedFile string) int {
+	load := func(name string) (*scaleFile, error) {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		var sf scaleFile
+		if err := json.Unmarshal(data, &sf); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return &sf, nil
+	}
+	cur, err := load(file)
+	if err != nil {
+		fatal(err)
+	}
+	seed, err := load(seedFile)
+	if err != nil {
+		fatal(err)
+	}
+	failed := 0
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: "+format+"\n", args...)
+		failed++
+	}
+	curBy := make(map[string]map[int]float64)
+	for _, s := range cur.Series {
+		m := make(map[int]float64)
+		for _, p := range s.Points {
+			m[p.SizeBytes] = p.VirtualUS
+		}
+		curBy[s.Name] = m
+	}
+	checked := 0
+	for _, s := range seed.Series {
+		m, ok := curBy[s.Name]
+		if !ok {
+			fail("series %q present in seed %s but missing from %s", s.Name, seedFile, file)
+			continue
+		}
+		for _, p := range s.Points {
+			got, ok := m[p.SizeBytes]
+			if !ok {
+				fail("series %s lost its %d B point relative to seed %s", s.Name, p.SizeBytes, seedFile)
+				continue
+			}
+			checked++
+			if p.VirtualUS <= 0 {
+				continue
+			}
+			drift := (got - p.VirtualUS) / p.VirtualUS
+			if drift < 0 {
+				drift = -drift
+			}
+			if drift > scaleSeedTolerance {
+				fail("series %s at %d B drifted %.2f%% from the seed (%.1f us -> %.1f us, bound %.0f%%) — "+
+					"simulated time is deterministic, so the change perturbed the transport itself",
+					s.Name, p.SizeBytes, drift*100, p.VirtualUS, got, scaleSeedTolerance*100)
+			}
+		}
+	}
+	if checked == 0 {
+		fail("no common scale series points between %s and seed %s", file, seedFile)
+	}
+	return failed
+}
+
 func main() {
 	file := flag.String("f", "BENCH_collectives.json", "bench series file to check")
 	scaleF := flag.String("scale", "BENCH_scale.json", "scale bench file to check (\"\" to skip)")
+	scaleSeed := flag.String("scaleseed", "", "seed BENCH_scale.json snapshot to diff the regenerated scale series against (\"\" to skip)")
 	flag.Parse()
 
 	data, err := os.ReadFile(*file)
@@ -336,6 +421,9 @@ func main() {
 	scaleFailed := 0
 	if *scaleF != "" {
 		scaleFailed = checkScale(*scaleF)
+		if *scaleSeed != "" {
+			scaleFailed += checkScaleSeed(*scaleF, *scaleSeed)
+		}
 	}
 	if failed+scaleFailed > 0 {
 		os.Exit(1)
@@ -343,6 +431,9 @@ func main() {
 	fmt.Printf("benchcheck: %d rules and %d caps hold on %s\n", len(rules), len(caps), *file)
 	if *scaleF != "" {
 		fmt.Printf("benchcheck: scale growth, wall-clock and collective gates hold on %s\n", *scaleF)
+	}
+	if *scaleF != "" && *scaleSeed != "" {
+		fmt.Printf("benchcheck: scale series within %.0f%% of seed %s\n", scaleSeedTolerance*100, *scaleSeed)
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	experiments -exp all
 //	experiments -exp table1,fig7b -csv
+//	experiments -exp gateway -trace trace_gateway.json   # Perfetto trace
 package main
 
 import (
@@ -14,14 +15,23 @@ import (
 	"os"
 	"strings"
 
+	"mpichmad/internal/cluster"
 	"mpichmad/internal/experiments"
 	"mpichmad/internal/stats"
+	"mpichmad/internal/trace"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids: table1, fig6a, fig6b, fig7a, fig7b, fig8a, fig8b, fig9a, fig9b, table2, ablation-switch, ablation-split, forwarding, hcoll, gateway, adaptive, heteromux, scale, or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV for plotting instead of aligned tables")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable, virtual-time µs) of every session the selected experiments run")
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(nil)
+		cluster.SetDefaultTracer(tracer)
+	}
 
 	var results []*experiments.Result
 	if *exp == "all" {
@@ -38,6 +48,21 @@ func main() {
 			}
 			results = append(results, r)
 		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %d trace events to %s\n",
+			len(tracer.Events()), *traceOut)
 	}
 	for _, r := range results {
 		if *csv && len(r.Series) > 0 {

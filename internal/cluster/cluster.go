@@ -20,8 +20,22 @@ import (
 	"mpichmad/internal/route"
 	"mpichmad/internal/smpplug"
 	"mpichmad/internal/stats"
+	"mpichmad/internal/trace"
 	"mpichmad/internal/vtime"
 )
+
+// defaultTracer is the fallback tracer Build uses when Topology.Trace is
+// nil: process-wide plumbing for the experiment driver's -trace flag, so
+// every experiment in a run gets traced without per-topology wiring.
+var defaultTracer *trace.Tracer
+
+// SetDefaultTracer installs (or, with nil, clears) the process-wide
+// fallback tracer picked up by every subsequent Build.
+func SetDefaultTracer(t *trace.Tracer) { defaultTracer = t }
+
+// deadlockTailEvents is how many flight-recorder events a traced session
+// appends to a vtime.DeadlockError report.
+const deadlockTailEvents = 16
 
 // NodeSpec places Procs MPI ranks on one physical node.
 type NodeSpec struct {
@@ -93,6 +107,14 @@ type Topology struct {
 	// bound entirely (the historical unbounded queue).
 	RelayWindow int
 
+	// Trace, when set, records the session's virtual-time event stream
+	// (packet lifecycle, relay hops, schedule rounds, trunk contention)
+	// on this tracer. Nil falls back to the tracer installed by
+	// SetDefaultTracer; nil both ways leaves tracing off — one dead
+	// branch per hot path. The metrics registry is independent of this
+	// and always on.
+	Trace *trace.Tracer
+
 	// Deadline bounds the session's virtual time (default 1000 s).
 	Deadline vtime.Duration
 }
@@ -153,6 +175,15 @@ type Session struct {
 	Topo     Topology
 	Ranks    []*Rank
 	Networks map[string]*netsim.Network
+
+	// Tracer is the session's event tracer (nil: tracing off); Metrics
+	// is the always-on counter registry every device and network feeds
+	// (gateway relay load, trunk contention) — it is what RelayStats
+	// reads, so it exists even when tracing is off.
+	Tracer  *trace.Tracer
+	Metrics *trace.Registry
+
+	traceCtrl int // session-control trace track (replan instants)
 
 	nodeOf     map[int]string      // rank -> node
 	netsOfNode map[string][]string // node -> attached network names
@@ -231,6 +262,37 @@ func Build(topo Topology) (*Session, error) {
 	sess.places = places
 	sess.netsOfNode = nodeNets
 
+	// Observability wiring: the registry is unconditional (RelayStats
+	// and the trunk-delay column read it); the tracer — explicit on the
+	// topology or the process-wide default — additionally gets a Chrome
+	// track per rank, per network, and one control track, plus the
+	// scheduler's deadlock hook pointed at the flight recorder.
+	sess.Metrics = trace.NewRegistry()
+	tracer := topo.Trace
+	if tracer == nil {
+		tracer = defaultTracer
+	}
+	sess.Tracer = tracer
+	if tracer != nil {
+		tracer.SetClock(s.Now)
+		tracer.BeginSession(fmt.Sprintf("%s x%d", topo.Device, size))
+		for r, pl := range places {
+			tracer.SetTrackName(r, fmt.Sprintf("rank%d(%s)", r, pl.node))
+		}
+		for i, ns := range topo.Networks {
+			net := sess.Networks[ns.Name]
+			net.Trace = tracer
+			net.TraceTrack = size + i
+			tracer.SetTrackName(size+i, "net:"+ns.Name)
+		}
+		sess.traceCtrl = size + len(topo.Networks)
+		tracer.SetTrackName(sess.traceCtrl, "session")
+		s.OnDeadlock = func() []string { return tracer.Tail(deadlockTailEvents) }
+	}
+	for _, ns := range topo.Networks {
+		sess.Networks[ns.Name].Metrics = sess.Metrics
+	}
+
 	switch topo.Device {
 	case "ch_mad":
 		if err := sess.buildChMad(places, nodeNets, nets); err != nil {
@@ -285,6 +347,12 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 		proc := marcel.NewProc(s, pl.proc)
 		eng := adi.NewEngine(proc, r)
 		dev := core.New(proc, eng, r)
+		dev.Metrics = sess.Metrics
+		dev.MetricsLabel = fmt.Sprintf("rank%d(%s)", r, pl.node)
+		if sess.Tracer != nil {
+			dev.Trace = sess.Tracer
+			dev.TraceTrack = r
+		}
 		inst := madeleine.New(proc)
 		chanOf := make(map[string]*madeleine.Channel)
 		for _, netName := range nodeNets[pl.node] {
@@ -385,6 +453,9 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 			}
 		}
 		w.rank.MPI = mpi.NewProcess(w.rank.Proc, w.rank.Eng, r, size, route, devices)
+		if sess.Tracer != nil {
+			w.rank.MPI.SetTrace(sess.Tracer, r)
+		}
 		w.rank.MPI.SetHierarchy(hier)
 		// The class resolver binds the build-time plan on purpose: the
 		// eager table it replaces was captured here and never refreshed by
@@ -584,6 +655,7 @@ func (sess *Session) Replan() *route.Plan {
 		return nil
 	}
 	cong := make([]float64, len(sess.places))
+	nCongested := 0
 	for r, dev := range sess.devs {
 		if dev == nil {
 			continue
@@ -596,6 +668,7 @@ func (sess *Session) Replan() *route.Plan {
 			continue
 		}
 		cong[r] = float64(depth) * sess.congestionUnit(r)
+		nCongested++
 	}
 	plan := route.ComputeOpts(sess.graph, route.Options{
 		RefBytes:   route.DefaultRefBytes,
@@ -605,6 +678,11 @@ func (sess *Session) Replan() *route.Plan {
 	sess.plan = plan
 	sess.bindLinkClasses()
 	sess.installRoutes(plan)
+	if sess.Tracer != nil {
+		// Val carries how many gateways fed congestion into the new plan.
+		sess.Tracer.Instant(sess.traceCtrl, trace.KCtrl, "replan",
+			trace.Args{Val: int64(nCongested)})
+	}
 	if sess.hier != nil {
 		sess.electLeaders(sess.hier)
 		sess.routedInter(sess.hier, sess.segCap)
@@ -657,6 +735,10 @@ func (sess *Session) RelayStats() []stats.RelayStat {
 			BusyNacks:      d.NRelayBusy,
 			QueuePeak:      d.RelayQueuePeak,
 			Window:         d.RelayWindow,
+			// Time this rank's outbound packets spent queued behind other
+			// pipes' traffic for a shared trunk — a gateway whose relays
+			// stall here is bottlenecked by the backbone, not its queue.
+			TrunkWait: vtime.Duration(sess.Metrics.Get("trunk.wait.ns", sess.places[rk.Rank].proc)),
 		})
 	}
 	return out

@@ -75,8 +75,22 @@ func (d *Device) AuditInvariants() error {
 	if len(bad) == 0 {
 		return nil
 	}
-	return fmt.Errorf("ch_mad[%d] invariant audit: %s", d.rank, strings.Join(bad, "; "))
+	msg := fmt.Sprintf("ch_mad[%d] invariant audit: %s", d.rank, strings.Join(bad, "; "))
+	// With a tracer attached, the flight recorder's tail travels with
+	// the failure: the last events before the leaked state are usually
+	// the ones that leaked it. Tail is nil-safe, so an untraced device
+	// reports exactly as before.
+	if tail := d.Trace.Tail(auditTailEvents); len(tail) > 0 {
+		msg += fmt.Sprintf("\nlast %d trace events before the audit:\n  %s",
+			len(tail), strings.Join(tail, "\n  "))
+	}
+	return fmt.Errorf("%s", msg)
 }
+
+// auditTailEvents bounds the flight-recorder dump an audit failure
+// carries — enough to see the failing exchange without drowning the
+// invariant list.
+const auditTailEvents = 16
 
 // sortedKeys returns a map's uint32 keys ascending — deterministic audit
 // output (a map-ordered dump would itself violate the determinism rules).

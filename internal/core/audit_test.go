@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mpichmad/internal/adi"
+	"mpichmad/internal/trace"
 	"mpichmad/internal/vtime"
 )
 
@@ -52,6 +53,44 @@ func TestAuditCatchesLeakedState(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("audit report missing %q:\n%v", want, err)
 		}
+	}
+}
+
+// TestAuditFailureIncludesFlightTail: a seeded violation on a traced
+// device carries the flight recorder's last events in the error — the
+// exchange that leaked the state is in the report, not just the leak.
+func TestAuditFailureIncludesFlightTail(t *testing.T) {
+	d := New(nil, nil, 3)
+	tr := trace.New(func() vtime.Time { return 1500 })
+	tr.BeginSession("audit")
+	d.Trace = tr
+	d.TraceTrack = 3
+	tr.Instant(3, trace.KRndv, "rndv.req", trace.Args{HasPeer: true, Src: 3, Dst: 8, Bytes: 4096, Seq: 7})
+	tr.Instant(3, trace.KCredit, "relay.busy", trace.Args{HasPeer: true, Src: 3, Dst: 8, Seq: 7})
+	d.pending[7] = &adi.SendReq{} // the leak the events explain
+
+	err := d.AuditInvariants()
+	if err == nil {
+		t.Fatal("seeded device passed audit")
+	}
+	for _, want := range []string{
+		"ch_mad[3]",
+		"pending (req ids [7])",
+		"last 2 trace events before the audit",
+		"rndv.req src=3 dst=8 bytes=4096 seq=7",
+		"relay.busy",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("audit report missing %q:\n%v", want, err)
+		}
+	}
+
+	// Untraced devices keep the classic one-line report.
+	d2 := New(nil, nil, 3)
+	d2.pending[7] = &adi.SendReq{}
+	if err := d2.AuditInvariants(); err == nil ||
+		strings.Contains(err.Error(), "trace events") {
+		t.Fatalf("untraced audit changed shape: %v", err)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"mpichmad/internal/madeleine"
 	"mpichmad/internal/marcel"
 	"mpichmad/internal/netsim"
+	"mpichmad/internal/trace"
 	"mpichmad/internal/vtime"
 )
 
@@ -141,6 +142,18 @@ type Device struct {
 	// the ablation/robustness-test mode, since MPI eager semantics give
 	// the sender no completion to retry from.
 	RelayLossyEager bool
+
+	// Trace, when set, records the packet lifecycle (eager send/recv,
+	// RNDV request->ack->body, relay hops, credit waits) on TraceTrack
+	// (the owning rank's track). Metrics aggregates counters per device
+	// class and — under MetricsLabel, the gateway's display name cached
+	// once at wiring time so hot paths never format strings — per
+	// gateway. Both are nil-safe: a nil Trace/Metrics costs one branch
+	// per site. Set by the cluster wiring before Start.
+	Trace        *trace.Tracer
+	TraceTrack   int
+	Metrics      *trace.Registry
+	MetricsLabel string
 
 	nextReq  uint32
 	nextSync uint32
@@ -513,6 +526,12 @@ func (d *Device) Send(sr *adi.SendReq) {
 // fires when the message is injected.
 func (d *Device) sendEager(sr *adi.SendReq, rt Route) {
 	d.NEager++
+	d.Metrics.Add("eager.msgs", rt.Class, 1)
+	d.Metrics.Add("eager.bytes", rt.Class, int64(len(sr.Data)))
+	var t0 vtime.Time
+	if d.Trace != nil {
+		t0 = d.proc.S.Now()
+	}
 	h := header{
 		Type:    PktShort,
 		SrcRank: sr.Env.Src,
@@ -550,6 +569,12 @@ func (d *Device) sendEager(sr *adi.SendReq, rt Route) {
 	if err == nil {
 		err = conn.EndPacking()
 	}
+	if d.Trace != nil {
+		d.Trace.Span(d.TraceTrack, trace.KPkt, "eager.send", t0, trace.Args{
+			HasPeer: true, Src: int32(sr.Env.Src), Dst: int32(sr.Dst),
+			Bytes: int64(len(sr.Data)), Class: rt.Class,
+		})
+	}
 	sr.Err = err
 	sr.Done.Fire()
 }
@@ -558,8 +583,16 @@ func (d *Device) sendEager(sr *adi.SendReq, rt Route) {
 // park the request until the SendOK returns.
 func (d *Device) sendRndvRequest(sr *adi.SendReq, rt Route) {
 	d.NRndv++
+	d.Metrics.Add("rndv.msgs", rt.Class, 1)
+	d.Metrics.Add("rndv.bytes", rt.Class, int64(sr.Env.Len))
 	d.nextReq++
 	id := d.nextReq
+	if d.Trace != nil {
+		d.Trace.Instant(d.TraceTrack, trace.KRndv, "rndv.req", trace.Args{
+			HasPeer: true, Src: int32(sr.Env.Src), Dst: int32(sr.Dst),
+			Bytes: int64(sr.Env.Len), Seq: id, Class: rt.Class,
+		})
+	}
 	d.pending[id] = sr
 	h := header{
 		Type:    PktRequest,
@@ -667,6 +700,11 @@ func (d *Device) inShort(ch *madeleine.Channel, conn *madeleine.Connection, h he
 		panic(err)
 	}
 	d.handling(ch)
+	if d.Trace != nil {
+		d.Trace.Instant(d.TraceTrack, trace.KPkt, "eager.recv", trace.Args{
+			HasPeer: true, Src: int32(env.Src), Dst: int32(d.rank), Bytes: int64(env.Len),
+		})
+	}
 	params := ch.Params
 	if r := d.eng.MatchPosted(env); r != nil {
 		n, err := adi.CheckLen(r, env)
@@ -726,6 +764,12 @@ func (d *Device) replySendOK(req header, r *adi.RecvReq, env adi.Envelope) {
 		ReqID:   req.ReqID,
 		SyncID:  sync,
 	}
+	if d.Trace != nil {
+		d.Trace.Instant(d.TraceTrack, trace.KRndv, "rndv.ok", trace.Args{
+			HasPeer: true, Src: int32(d.rank), Dst: int32(req.SrcRank),
+			Bytes: int64(env.Len), Seq: req.ReqID, Val: int64(sync),
+		})
+	}
 	d.proc.Spawn("ch_mad.sendok", func() {
 		if err := d.sendHeaderOnly(back, ok2S); err != nil {
 			panic(fmt.Sprintf("ch_mad[%d]: sendok: %v", d.rank, err))
@@ -748,6 +792,11 @@ func (d *Device) inSendOK(ch *madeleine.Channel, conn *madeleine.Connection, h h
 	}
 	delete(d.pending, h.ReqID)
 	delete(d.retries, h.ReqID)
+	if d.Trace != nil {
+		d.Trace.Instant(d.TraceTrack, trace.KRndv, "rndv.ack", trace.Args{
+			HasPeer: true, Src: int32(h.SrcRank), Dst: int32(d.rank), Seq: h.ReqID,
+		})
+	}
 	rt, _ := d.RouteTo(sr.Dst)
 	if d.RelayPipelining && rt.Hops > 1 && rt.SegBytes > 0 && len(sr.Data) > rt.SegBytes {
 		if rails := d.Rails(sr.Dst); d.RelayStriping && len(rails) > 1 {
@@ -765,6 +814,10 @@ func (d *Device) inSendOK(ch *madeleine.Channel, conn *madeleine.Connection, h h
 		SyncID:  h.SyncID,
 	}
 	d.proc.Spawn("ch_mad.rndvdata", func() {
+		var t0 vtime.Time
+		if d.Trace != nil {
+			t0 = d.proc.S.Now()
+		}
 		conn2, err := rt.Channel.BeginPacking(rt.NextNode)
 		if err == nil {
 			err = conn2.Pack(data.encode(), madeleine.SendCheaper, madeleine.ReceiveExpress)
@@ -774,6 +827,12 @@ func (d *Device) inSendOK(ch *madeleine.Channel, conn *madeleine.Connection, h h
 		}
 		if err == nil {
 			err = conn2.EndPacking()
+		}
+		if d.Trace != nil {
+			d.Trace.Span(d.TraceTrack, trace.KRndv, "rndv.body", t0, trace.Args{
+				HasPeer: true, Src: int32(sr.Env.Src), Dst: int32(sr.Dst),
+				Bytes: int64(len(sr.Data)), Seq: h.SyncID,
+			})
 		}
 		sr.Err = err
 		sr.Done.Fire()
@@ -805,6 +864,10 @@ func (d *Device) sendRndvSegmented(sr *adi.SendReq, rt Route, sync uint32) {
 				Offset:  off,
 				Budget:  rt.Hops,
 			}
+			var t0 vtime.Time
+			if d.Trace != nil {
+				t0 = d.proc.S.Now()
+			}
 			conn, err := rt.Channel.BeginPacking(rt.NextNode)
 			if err == nil {
 				err = conn.Pack(seg.encode(), madeleine.SendCheaper, madeleine.ReceiveExpress)
@@ -814,6 +877,12 @@ func (d *Device) sendRndvSegmented(sr *adi.SendReq, rt Route, sync uint32) {
 			}
 			if err == nil {
 				err = conn.EndPacking()
+			}
+			if d.Trace != nil {
+				d.Trace.Span(d.TraceTrack, trace.KRndv, "rndv.seg", t0, trace.Args{
+					HasPeer: true, Src: int32(sr.Env.Src), Dst: int32(sr.Dst),
+					Bytes: int64(n), Rail: 0, Hop: int16(rt.Hops), Seq: sync, Val: int64(off),
+				})
 			}
 			if err != nil {
 				sr.Err = err
@@ -894,6 +963,10 @@ func (d *Device) sendRndvStriped(sr *adi.SendReq, rails []Route, sync uint32) {
 				PathID:  rail,
 				Budget:  rt.Hops,
 			}
+			var t0 vtime.Time
+			if d.Trace != nil {
+				t0 = d.proc.S.Now()
+			}
 			conn, err := rt.Channel.BeginPacking(rt.NextNode)
 			if err == nil {
 				err = conn.Pack(h.encode(), madeleine.SendCheaper, madeleine.ReceiveExpress)
@@ -903,6 +976,12 @@ func (d *Device) sendRndvStriped(sr *adi.SendReq, rails []Route, sync uint32) {
 			}
 			if err == nil {
 				err = conn.EndPacking()
+			}
+			if d.Trace != nil {
+				d.Trace.Span(d.TraceTrack, trace.KRndv, "rndv.seg", t0, trace.Args{
+					HasPeer: true, Src: int32(sr.Env.Src), Dst: int32(sr.Dst),
+					Bytes: int64(n), Rail: int16(rail), Hop: int16(rt.Hops), Seq: sync, Val: int64(off),
+				})
 			}
 			if err != nil {
 				sr.Err = err
@@ -944,6 +1023,12 @@ func (d *Device) inRndvData(ch *madeleine.Channel, conn *madeleine.Connection, h
 		panic(err)
 	}
 	d.handling(ch)
+	if d.Trace != nil {
+		d.Trace.Instant(d.TraceTrack, trace.KRndv, "rndv.land", trace.Args{
+			HasPeer: true, Src: int32(h.SrcRank), Dst: int32(d.rank),
+			Bytes: int64(h.Len), Seq: h.SyncID,
+		})
+	}
 	adi.FinishRecv(st.r, st.env, lenErr)
 }
 
@@ -970,6 +1055,13 @@ func (d *Device) inRndvSeg(ch *madeleine.Channel, conn *madeleine.Connection, h 
 		panic(err)
 	}
 	d.handling(ch)
+	if d.Trace != nil {
+		d.Trace.Instant(d.TraceTrack, trace.KRndv, "rndv.seg.land", trace.Args{
+			HasPeer: true, Src: int32(h.SrcRank), Dst: int32(d.rank),
+			Bytes: int64(h.Len), Rail: int16(h.PathID), Hop: int16(h.Budget),
+			Seq: h.SyncID, Val: int64(h.Offset),
+		})
+	}
 	if !st.segDone(h.Len) {
 		return
 	}
@@ -1013,6 +1105,12 @@ func (d *Device) inNack(ch *madeleine.Channel, conn *madeleine.Connection, h hea
 	sr := d.pending[h.ReqID]
 	if sr == nil {
 		return // already failed or completed; stale nack
+	}
+	if d.Trace != nil {
+		d.Trace.Instant(d.TraceTrack, trace.KCredit, "rndv.nack", trace.Args{
+			HasPeer: true, Src: int32(h.SrcRank), Dst: int32(d.rank),
+			Seq: h.ReqID, Val: int64(h.Context),
+		})
 	}
 	if h.Context == NackBusy {
 		attempt := d.retries[h.ReqID]
@@ -1080,6 +1178,7 @@ func (d *Device) inNack(ch *madeleine.Channel, conn *madeleine.Connection, h hea
 // has no room for. Striped segments are re-emitted on the rail their
 // PathID names.
 func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h header) {
+	arrivedBudget := h.Budget // pre-decrement, for the relay-hop span's tag
 	if h.Budget > 0 {
 		h.Budget-- // one hop of the planned rail consumed by this relay
 	}
@@ -1131,6 +1230,13 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 				}
 				d.handling(ch)
 				d.NRelayBusy++
+				d.Metrics.Add("relay.busynack", d.MetricsLabel, 1)
+				if d.Trace != nil {
+					d.Trace.Instant(d.TraceTrack, trace.KCredit, "relay.busy", trace.Args{
+						HasPeer: true, Src: int32(h.SrcRank), Dst: int32(h.DstRank),
+						Seq: h.ReqID, Val: int64(d.RelayQueueDepth()),
+					})
+				}
 				d.nackSender(h, NackBusy)
 				return
 			}
@@ -1147,10 +1253,21 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 				// The inbound channel stalls behind us — the modeled
 				// backpressure on upstream senders.
 				d.NRelayDeferred++
+				d.Metrics.Add("relay.deferred", d.MetricsLabel, 1)
+				var w0 vtime.Time
+				if d.Trace != nil {
+					w0 = d.proc.S.Now()
+				}
 				d.relayParking++
 				d.noteRelayDepth()
 				d.relayCredits.Acquire()
 				d.relayParking--
+				if d.Trace != nil {
+					d.Trace.Span(d.TraceTrack, trace.KCredit, "relay.credit.wait", w0, trace.Args{
+						HasPeer: true, Src: int32(h.SrcRank), Dst: int32(h.DstRank),
+						Bytes: int64(bodyLen),
+					})
+				}
 			}
 			holdsCredit = true
 		}
@@ -1160,15 +1277,25 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 	d.handling(ch)
 	d.NForwarded++
 	d.RelayBytes += uint64(len(body))
+	d.Metrics.Add("relay.msgs", d.MetricsLabel, 1)
+	d.Metrics.Add("relay.bytes", d.MetricsLabel, int64(len(body)))
 	// Only stored bodies occupy the store-and-forward queue: header-only
 	// control forwards (SendOK, nacks, admitted requests) hold no buffer
 	// and no credit, so they must not count toward the bounded depth.
 	if bodyLen > 0 {
 		d.relayInFlight++
 		d.noteRelayDepth()
+		d.Metrics.SetMax("relay.qpeak", d.MetricsLabel, int64(d.relayInFlight))
+		if d.Trace != nil {
+			d.Trace.Counter(d.TraceTrack, trace.KRelay, "relay.depth", int64(d.RelayQueueDepth()))
+		}
 	}
 	// Re-emit on the outbound channel (forward), off the polling thread.
 	d.proc.Spawn("ch_mad.forward", func() {
+		var t0 vtime.Time
+		if d.Trace != nil {
+			t0 = d.proc.S.Now()
+		}
 		conn2, err := rt.Channel.BeginPacking(rt.NextNode)
 		if err == nil {
 			err = conn2.Pack(h.encode(), madeleine.SendCheaper, madeleine.ReceiveExpress)
@@ -1184,6 +1311,16 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 		}
 		if holdsCredit {
 			d.relayCredits.Release()
+		}
+		if d.Trace != nil {
+			d.Trace.Span(d.TraceTrack, trace.KRelay, "relay.hop", t0, trace.Args{
+				HasPeer: true, Src: int32(h.SrcRank), Dst: int32(h.DstRank),
+				Bytes: int64(len(body)), Rail: int16(h.PathID), Hop: int16(arrivedBudget),
+				Seq: h.SyncID,
+			})
+			if bodyLen > 0 {
+				d.Trace.Counter(d.TraceTrack, trace.KRelay, "relay.depth", int64(d.RelayQueueDepth()))
+			}
 		}
 		if err != nil {
 			panic(fmt.Sprintf("ch_mad[%d]: forward: %v", d.rank, err))
@@ -1273,6 +1410,12 @@ func (d *Device) nackSender(h header, reason int) {
 func (d *Device) relayNoRoute(h header) {
 	d.NRelayDrops++
 	d.NDropsNoRoute++
+	d.Metrics.Add("relay.drops", d.MetricsLabel, 1)
+	if d.Trace != nil {
+		d.Trace.Instant(d.TraceTrack, trace.KRelay, "relay.drop", trace.Args{
+			HasPeer: true, Src: int32(h.SrcRank), Dst: int32(h.DstRank),
+		})
+	}
 	if h.Type != PktRequest {
 		return
 	}

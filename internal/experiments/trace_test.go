@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mpichmad/internal/cluster"
+	"mpichmad/internal/trace"
+)
+
+// TestTracingLeavesOutputIdentical pins the tracer's observer contract:
+// attaching the process-wide default tracer (the -trace flag path) must
+// leave an experiment's rendered output byte-identical to an untraced
+// run. Tracing only records — it never perturbs virtual time, scheduling
+// order, or any measured quantity.
+func TestTracingLeavesOutputIdentical(t *testing.T) {
+	off, err := GatewayCollectives()
+	if err != nil {
+		t.Fatalf("untraced run: %v", err)
+	}
+
+	tr := trace.New(nil)
+	cluster.SetDefaultTracer(tr)
+	defer cluster.SetDefaultTracer(nil)
+	on, err := GatewayCollectives()
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+
+	if len(tr.Events()) == 0 {
+		t.Fatal("default tracer attached but recorded nothing")
+	}
+	if off.Text == on.Text {
+		return
+	}
+	a, b := strings.Split(off.Text, "\n"), strings.Split(on.Text, "\n")
+	for i := 0; i < len(a) || i < len(b); i++ {
+		var la, lb string
+		if i < len(a) {
+			la = a[i]
+		}
+		if i < len(b) {
+			lb = b[i]
+		}
+		if la != lb {
+			t.Errorf("line %d diverged with tracing on:\n  off: %s\n  on:  %s", i+1, la, lb)
+		}
+	}
+}

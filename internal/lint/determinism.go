@@ -33,6 +33,7 @@ const (
 	modulePrefix = "mpichmad/internal/"
 	lintPath     = "mpichmad/internal/lint"
 	vtimePath    = "mpichmad/internal/vtime"
+	tracePath    = "mpichmad/internal/trace"
 )
 
 // forbiddenTime are the time package functions that read or wait on the
@@ -184,7 +185,16 @@ func detOneMapRange(pass *Pass, scope *ast.BlockStmt, rng *ast.RangeStmt) []Diag
 		case *ast.CallExpr:
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && riskyInRange[sel.Sel.Name] {
 				if obj := pass.Pkg.Info.Uses[sel.Sel]; obj != nil {
-					if _, isFunc := obj.(*types.Func); isFunc {
+					if fn, isFunc := obj.(*types.Func); isFunc {
+						// Trace sinks (internal/trace) are exempt: they
+						// append to in-memory buffers and never touch the
+						// scheduler or I/O, so their call order cannot
+						// leak map order into simulation behavior. The
+						// wall-clock/rand/concurrency rules still apply to
+						// the trace package's own code.
+						if fn.Pkg() != nil && fn.Pkg().Path() == tracePath {
+							return true
+						}
 						out = append(out, Diagnostic{Pos: n.Pos(), Message: fmt.Sprintf(
 							"%s called while ranging over a map: side effects follow Go's randomized map order (iterate sorted keys instead)",
 							sel.Sel.Name)})

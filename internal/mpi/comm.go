@@ -7,6 +7,7 @@ import (
 	"mpichmad/internal/adi"
 	"mpichmad/internal/marcel"
 	"mpichmad/internal/netsim"
+	"mpichmad/internal/trace"
 	"mpichmad/internal/vtime"
 )
 
@@ -66,8 +67,21 @@ type Process struct {
 	classProbes   []ClassProbe
 	classSwitch   map[string]int
 
+	// tracer, when installed by SetTrace, records schedule-round spans
+	// of every collective this rank executes on traceTrack (the rank's
+	// Chrome track). Nil: the progress engine pays one branch per op.
+	tracer     *trace.Tracer
+	traceTrack int
+
 	memcpyBW  float64
 	finalized bool
+}
+
+// SetTrace attaches the session tracer to this rank's progress engine;
+// track is the rank's trace track. Called by the cluster wiring.
+func (p *Process) SetTrace(t *trace.Tracer, track int) {
+	p.tracer = t
+	p.traceTrack = track
 }
 
 // NewProcess wires a rank's MPI state. route selects the device for each

@@ -252,6 +252,56 @@
 // picture: when no task is runnable and no event pending, Run returns a
 // structured vtime.DeadlockError naming every task and what it waits on.
 //
+// # Observability
+//
+// The transport stack is instrumented end to end by internal/trace: a
+// virtual-time event tracer, an always-on metrics registry, and a
+// bounded flight-recorder ring. Tracing is off by default and costs one
+// nil-check branch per hot path (measured by BenchmarkNilTracer; the
+// scale-seed benchcheck gate proves disabled tracing leaves every
+// simulated time bit-identical). Attach a tracer per topology
+// (cluster.Topology.Trace) or process-wide (cluster.SetDefaultTracer —
+// the `cmd/experiments -trace out.json` path).
+//
+// Event taxonomy, by trace.Kind and name:
+//
+//   - pkt: "eager.send"/"eager.recv" — short-protocol message
+//     lifecycle, one span per send with src/dst/bytes/class.
+//   - rndv: "rndv.req", "rndv.ok", "rndv.ack", "rndv.body",
+//     "rndv.land" — the rendez-vous handshake and whole-body transfer;
+//     "rndv.seg"/"rndv.seg.land" — striped segments, tagged with their
+//     rail (header PathID), hop budget and byte offset; "rndv.nack" —
+//     a busy-refused request.
+//   - relay: "relay.hop" — one gateway forward (span covers the parked
+//     store-and-forward time), with rail/hop tags; "relay.depth" — the
+//     queue-occupancy counter track; "relay.drop".
+//   - credit: "relay.credit.wait" — a body parked for an admission
+//     credit; "relay.busy" — a refused rendez-vous request.
+//   - sched: "sched.<op>" and "sched.round" — the collective progress
+//     engine's schedule execution, one span per round with the ranks it
+//     talks to ("s5,r0" = send to world rank 5, receive from 0);
+//     "sched.submit" — a nonblocking collective entering the queue.
+//   - net: "trunk.wait" — a packet queued behind other pipes' traffic
+//     for a shared backbone trunk; "trunk.occ" — trunk occupancy.
+//   - ctrl: "replan" — a Session.Replan, with the number of congested
+//     gateways that fed the new plan.
+//
+// Reading traces: trace.Tracer.WriteChrome emits Chrome trace-event
+// JSON with timestamps in virtual microseconds — load it in
+// ui.perfetto.dev (or chrome://tracing). Each session is a process;
+// each rank, each network and the session-control line are tracks
+// within it. The registry (trace.Registry) aggregates counters per
+// device class and per gateway (eager/rndv/relay bytes and messages,
+// deferred bodies, busy nacks, queue high-water, trunk waits) and
+// always runs — cluster.Session.RelayStats and the RelayTable
+// trunk-wait column read it with tracing off.
+//
+// The flight recorder closes the loop with the failure paths: a traced
+// session points vtime.Scheduler.OnDeadlock at the tracer's ring, so a
+// DeadlockError report ends with the last events before the hang, and
+// core.Device.AuditInvariants appends the device's trace tail to a
+// failed audit — the exchange that leaked the state, not just the leak.
+//
 // # Migration notes
 //
 // Callers of the former internal algorithm helpers (barrierFlat,

@@ -21,6 +21,7 @@ package mpi
 import (
 	"fmt"
 
+	"mpichmad/internal/trace"
 	"mpichmad/internal/vtime"
 )
 
@@ -87,8 +88,14 @@ func (c *Comm) submit(sch *schedule) *CollRequest {
 		c.eng = &collEngine{}
 	}
 	eng := c.eng
-	eng.queue = append(eng.queue, &collJob{req: req, tag: tagNBCBase + eng.seq})
+	tag := tagNBCBase + eng.seq
+	eng.queue = append(eng.queue, &collJob{req: req, tag: tag})
 	eng.seq++
+	if tr := c.p.tracer; tr != nil {
+		tr.Instant(c.p.traceTrack, trace.KSched, "sched.submit", trace.Args{
+			Seq: uint32(tag), Class: sch.name, Val: int64(len(eng.queue)),
+		})
+	}
 	if !eng.running {
 		eng.running = true
 		c.p.M.Spawn("nbc.progress", func() { c.progress() })

@@ -22,7 +22,11 @@
 package mpi
 
 import (
+	"fmt"
+	"strings"
+
 	"mpichmad/internal/adi"
+	"mpichmad/internal/trace"
 	"mpichmad/internal/vtime"
 )
 
@@ -129,8 +133,27 @@ func (sch *schedule) local() bool {
 // per-round event, so a round with many receives blocks exactly once
 // however the completions interleave with the round's outbound sends.
 func (c *Comm) execSchedule(sch *schedule, tag int) error {
+	tr := c.p.tracer
+	var op0 vtime.Time
+	if tr != nil {
+		op0 = c.p.M.S.Now()
+	}
+	err := c.execRounds(sch, tag, tr)
+	if tr != nil {
+		tr.Span(c.p.traceTrack, trace.KSched, "sched."+sch.name, op0, trace.Args{
+			Seq: uint32(tag), Val: int64(len(sch.rounds)),
+		})
+	}
+	return err
+}
+
+func (c *Comm) execRounds(sch *schedule, tag int, tr *trace.Tracer) error {
 	for ri := range sch.rounds {
 		rd := &sch.rounds[ri]
+		var rd0 vtime.Time
+		if tr != nil {
+			rd0 = c.p.M.S.Now()
+		}
 
 		nRecv := 0
 		for _, st := range rd.steps {
@@ -195,9 +218,53 @@ func (c *Comm) execSchedule(sch *schedule, tag int) error {
 				// apply locally.
 			}
 		}
+		if tr != nil {
+			tr.Span(c.p.traceTrack, trace.KSched, "sched.round", rd0, trace.Args{
+				Seq: uint32(tag), Val: int64(ri),
+				Bytes: roundBytes(rd), Class: roundPeers(c, rd),
+			})
+		}
 	}
 	if sch.fin != nil {
 		sch.fin()
 	}
 	return nil
+}
+
+// roundBytes totals a round's outbound payload (trace annotation).
+func roundBytes(rd *round) int64 {
+	var n int64
+	for _, st := range rd.steps {
+		if st.kind == stepSend {
+			n += int64(len(st.buf))
+		}
+	}
+	return n
+}
+
+// roundPeers summarizes who a round talks to, in world ranks, for the
+// round's trace span: "s5,r0" = one send to world rank 5, one receive
+// from world rank 0 — the leaders and neighbours each round engages.
+// Bounded at 6 entries; only built when tracing is on.
+func roundPeers(c *Comm, rd *round) string {
+	var parts []string
+	extra := 0
+	for _, st := range rd.steps {
+		if st.kind != stepSend && st.kind != stepRecv {
+			continue
+		}
+		if len(parts) >= 6 {
+			extra++
+			continue
+		}
+		dir := "s"
+		if st.kind == stepRecv {
+			dir = "r"
+		}
+		parts = append(parts, fmt.Sprintf("%s%d", dir, c.group[st.peer]))
+	}
+	if extra > 0 {
+		parts = append(parts, fmt.Sprintf("+%d", extra))
+	}
+	return strings.Join(parts, ",")
 }

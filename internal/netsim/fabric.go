@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mpichmad/internal/trace"
 	"mpichmad/internal/vtime"
 )
 
@@ -71,6 +72,13 @@ type Network struct {
 	seq       uint64
 	rng       *PRNG
 	Stats     Stats
+
+	// Trace, when set, records trunk-contention events on TraceTrack
+	// (the network's own Chrome track); Metrics accumulates per-node
+	// trunk wait time. Both nil-safe; set by the cluster wiring.
+	Trace      *trace.Tracer
+	TraceTrack int
+	Metrics    *trace.Registry
 
 	// Shared-trunk arbiter state (Params.NetworkBandwidth > 0): the trunk
 	// is a single FIFO resource every packet must reserve, in injection
@@ -216,7 +224,14 @@ func (ep *Endpoint) Send(pkt *Packet) error {
 		// other pipes' traffic to clear is the contention cost the
 		// per-pair model never charged.
 		if n.trunkBusyUntil > txStart {
-			n.Stats.TrunkQueueDelay += vtime.Duration(n.trunkBusyUntil - txStart)
+			wait := vtime.Duration(n.trunkBusyUntil - txStart)
+			n.Stats.TrunkQueueDelay += wait
+			n.Metrics.Add("trunk.wait.ns", ep.Node, int64(wait))
+			if n.Trace != nil {
+				n.Trace.Instant(n.TraceTrack, trace.KNet, "trunk.wait", trace.Args{
+					Bytes: int64(pkt.WireSize()), Val: int64(wait), Class: ep.Node,
+				})
+			}
 			txStart = n.trunkBusyUntil
 		}
 		trunkSer := n.Params.TrunkTime(pkt.WireSize())
@@ -229,6 +244,10 @@ func (ep *Endpoint) Send(pkt *Packet) error {
 		n.trunkEnds = append(n.trunkEnds, trunkEnd)
 		if occ > n.Stats.TrunkPeak {
 			n.Stats.TrunkPeak = occ
+			n.Metrics.SetMax("trunk.peak", n.Name, int64(occ))
+		}
+		if n.Trace != nil {
+			n.Trace.Counter(n.TraceTrack, trace.KNet, "trunk.occ", int64(occ))
 		}
 	}
 	txEnd := txStart.Add(ser)

@@ -35,6 +35,14 @@ func (p Point) BandwidthMBs() float64 {
 type Series struct {
 	Name   string
 	Points []Point
+
+	// index maps size -> Points position, rebuilt lazily by At when it
+	// falls behind Points, so Table/CSV (one At per size per series) stay
+	// linear in the sweep length instead of quadratic. Later duplicates
+	// of a size win, matching the old last-append-invisible scan order:
+	// the linear scan returned the first match, but sweeps never repeat a
+	// size, so the distinction is unobservable in practice.
+	index map[int]int
 }
 
 // Add appends a measurement.
@@ -44,12 +52,17 @@ func (s *Series) Add(size int, oneWay vtime.Duration) {
 
 // At returns the point for a given size, ok=false if absent.
 func (s *Series) At(size int) (Point, bool) {
-	for _, p := range s.Points {
-		if p.Size == size {
-			return p, true
+	if len(s.index) != len(s.Points) {
+		s.index = make(map[int]int, len(s.Points))
+		for i, p := range s.Points {
+			s.index[p.Size] = i
 		}
 	}
-	return Point{}, false
+	i, ok := s.index[size]
+	if !ok {
+		return Point{}, false
+	}
+	return s.Points[i], true
 }
 
 // RelayStat is one gateway's relay load accounting for a session:
@@ -78,6 +91,12 @@ type RelayStat struct {
 	// non-zero Window.
 	QueuePeak int
 	Window    int
+	// TrunkWait is the total time this gateway's outbound packets spent
+	// queued for a shared backbone trunk behind other pipes' traffic
+	// (netsim trunk arbiter, via the session metrics registry): the
+	// column that separates a gateway stalled on the wire from one
+	// stalled on its own relay queue.
+	TrunkWait vtime.Duration
 }
 
 // Drops returns the total dropped messages across all reasons.
@@ -87,16 +106,16 @@ func (r RelayStat) Drops() uint64 { return r.DropsNoRoute + r.DropsQueueFull }
 func RelayTable(title string, rows []RelayStat) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s\n", title)
-	fmt.Fprintf(&b, "%-18s %10s %14s %12s %10s %9s %10s %11s\n",
-		"gateway", "msgs", "bytes", "drop-noroute", "drop-qfull", "deferred", "busy-nack", "queue-peak")
+	fmt.Fprintf(&b, "%-18s %10s %14s %12s %10s %9s %10s %11s %12s\n",
+		"gateway", "msgs", "bytes", "drop-noroute", "drop-qfull", "deferred", "busy-nack", "queue-peak", "trunk-wait")
 	for _, r := range rows {
 		peak := fmt.Sprintf("%d", r.QueuePeak)
 		if r.Window > 0 {
 			peak = fmt.Sprintf("%d/%d", r.QueuePeak, r.Window)
 		}
-		fmt.Fprintf(&b, "%-18s %10d %14d %12d %10d %9d %10d %11s\n",
+		fmt.Fprintf(&b, "%-18s %10d %14d %12d %10d %9d %10d %11s %10.1fus\n",
 			r.Name, r.Msgs, r.Bytes, r.DropsNoRoute, r.DropsQueueFull,
-			r.Deferred, r.BusyNacks, peak)
+			r.Deferred, r.BusyNacks, peak, r.TrunkWait.Micros())
 	}
 	return b.String()
 }

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteChrome renders the recorded stream as Chrome trace-event JSON
+// (the "JSON array" flavor), loadable in Perfetto or chrome://tracing.
+// Each session is a process group (pid), each track a thread (tid) with
+// its registered name; timestamps and durations are virtual-time
+// microseconds. Spans become complete ("X") events, instants "i",
+// counter samples "C". The output is deterministic: metadata is emitted
+// in sorted key order and events in record order.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+
+	sessIDs := make([]int32, 0, len(t.sessNames))
+	for id := range t.sessNames {
+		sessIDs = append(sessIDs, id)
+	}
+	sort.Slice(sessIDs, func(i, j int) bool { return sessIDs[i] < sessIDs[j] })
+	for _, id := range sessIDs {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			id, strconv.Quote(t.sessNames[id])))
+	}
+
+	tracks := make([]trackKey, 0, len(t.trackNames))
+	for k := range t.trackNames {
+		tracks = append(tracks, k)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].sess != tracks[j].sess {
+			return tracks[i].sess < tracks[j].sess
+		}
+		return tracks[i].track < tracks[j].track
+	})
+	for _, k := range tracks {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			k.sess, k.track, strconv.Quote(t.trackNames[k])))
+	}
+
+	for _, ev := range t.events {
+		emit(chromeEvent(ev))
+	}
+	b.WriteString("\n]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func chromeEvent(ev Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"name":%s,"cat":%q,"pid":%d,"tid":%d,"ts":%.3f`,
+		strconv.Quote(ev.Name), ev.Kind.String(), ev.Sess, ev.Track, ev.TS.Micros())
+	switch {
+	case ev.Counter:
+		fmt.Fprintf(&b, `,"ph":"C","args":{"value":%d}}`, ev.Args.Val)
+		return b.String()
+	case ev.Dur > 0:
+		fmt.Fprintf(&b, `,"ph":"X","dur":%.3f`, ev.Dur.Micros())
+	default:
+		b.WriteString(`,"ph":"i","s":"t"`)
+	}
+	b.WriteString(`,"args":{`)
+	argFirst := true
+	arg := func(format string, args ...interface{}) {
+		if !argFirst {
+			b.WriteByte(',')
+		}
+		argFirst = false
+		fmt.Fprintf(&b, format, args...)
+	}
+	a := ev.Args
+	if a.HasPeer {
+		arg(`"src":%d,"dst":%d`, a.Src, a.Dst)
+	}
+	if a.Bytes != 0 {
+		arg(`"bytes":%d`, a.Bytes)
+	}
+	if a.Hop > 0 {
+		arg(`"rail":%d,"hop":%d`, a.Rail, a.Hop)
+	}
+	if a.Seq != 0 {
+		arg(`"seq":%d`, a.Seq)
+	}
+	if a.Val != 0 {
+		arg(`"val":%d`, a.Val)
+	}
+	if a.Class != "" {
+		arg(`"class":%s`, strconv.Quote(a.Class))
+	}
+	b.WriteString("}}")
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package trace
+
+// Ring is the bounded flight recorder: a fixed-capacity ring of the
+// most recent events. The Tracer pushes every recorded event through
+// one; error paths (vtime deadlock dumps, ch_mad invariant audits) read
+// its tail so the last moments before a failure travel with the error.
+type Ring struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRing creates a recorder keeping the last n events (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Push appends an event, evicting the oldest once the ring is full.
+func (r *Ring) Push(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len reports how many events the ring currently holds.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Tail returns the last n events, oldest first (fewer if the ring holds
+// fewer). n <= 0 returns everything held.
+func (r *Ring) Tail(n int) []Event {
+	held := r.Len()
+	if n <= 0 || n > held {
+		n = held
+	}
+	out := make([]Event, 0, n)
+	// Oldest element sits at next when full, else at 0.
+	start := 0
+	if r.full {
+		start = r.next
+	}
+	for i := held - n; i < held; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

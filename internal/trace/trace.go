@@ -1,0 +1,250 @@
+// Package trace is the observability layer of the simulated stack: a
+// virtual-time event tracer, a counter/gauge registry, and a bounded
+// flight recorder.
+//
+// Every event is stamped with vtime (never the wall clock), so traces
+// are as deterministic as the simulation itself: the same experiment
+// produces a byte-identical event stream on every run, on any machine,
+// which makes traces diffable and golden-testable. Events are typed
+// (Kind) and carry a fixed-field Args value — no maps, no interface
+// boxing — so recording stays allocation-light on the transport's hot
+// paths, and a nil *Tracer costs exactly one branch per call site.
+//
+// Two sinks consume the stream:
+//
+//   - WriteChrome renders Chrome trace-event JSON loadable in Perfetto
+//     (chrome://tracing), one process group per session, one track per
+//     rank/gateway/network, timestamps in virtual microseconds.
+//   - the flight recorder Ring keeps the last N events; vtime deadlock
+//     reports and ch_mad invariant-audit failures dump its tail so the
+//     moments before a hang are always in the error text.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"mpichmad/internal/vtime"
+)
+
+// Kind classifies an event for filtering and for the Chrome "cat" field.
+type Kind uint8
+
+const (
+	KCtrl   Kind = iota // session control: replan, run lifecycle
+	KPkt                // eager packet lifecycle
+	KRndv               // rendez-vous request/ack/body/segments
+	KRelay              // gateway store-and-forward hops
+	KCredit             // relay credit admission waits
+	KSched              // collective schedule rounds
+	KNet                // netsim trunk queueing
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KCtrl:
+		return "ctrl"
+	case KPkt:
+		return "pkt"
+	case KRndv:
+		return "rndv"
+	case KRelay:
+		return "relay"
+	case KCredit:
+		return "credit"
+	case KSched:
+		return "sched"
+	case KNet:
+		return "net"
+	}
+	return "?"
+}
+
+// Args is the fixed argument set an event may carry. Zero fields are
+// elided from rendered output: Src/Dst are elided unless HasPeer is set
+// (rank 0 is a valid endpoint), Rail/Hop unless Hop > 0, the rest when
+// zero.
+type Args struct {
+	HasPeer  bool
+	Src, Dst int32
+	Bytes    int64
+	Rail     int16 // stripe rail index (PathID) when Hop > 0
+	Hop      int16 // remaining hop budget when relayed
+	Seq      uint32
+	Val      int64
+	Class    string // device class ("self"/"smp"/"san"/"wan") or peer label
+}
+
+// Event is one recorded trace event. Spans are recorded at completion
+// (Dur > 0, Chrome phase "X"); instants have Dur == 0; counters carry
+// their sample in Args.Val.
+type Event struct {
+	TS      vtime.Time
+	Dur     vtime.Duration
+	Kind    Kind
+	Name    string
+	Sess    int32 // Chrome pid: one process group per built session
+	Track   int32 // Chrome tid: rank, control, or network track
+	Counter bool
+	Args    Args
+}
+
+// String renders the event for flight-recorder tails and golden tests.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%11.3fus s%d/t%-2d %-6s %s", e.TS.Micros(), e.Sess, e.Track, e.Kind, e.Name)
+	if e.Dur > 0 {
+		fmt.Fprintf(&b, " dur=%.3fus", e.Dur.Micros())
+	}
+	if e.Counter {
+		fmt.Fprintf(&b, " val=%d", e.Args.Val)
+		return b.String()
+	}
+	a := e.Args
+	if a.HasPeer {
+		fmt.Fprintf(&b, " src=%d dst=%d", a.Src, a.Dst)
+	}
+	if a.Bytes != 0 {
+		fmt.Fprintf(&b, " bytes=%d", a.Bytes)
+	}
+	if a.Hop > 0 {
+		fmt.Fprintf(&b, " rail=%d hop=%d", a.Rail, a.Hop)
+	}
+	if a.Seq != 0 {
+		fmt.Fprintf(&b, " seq=%d", a.Seq)
+	}
+	if a.Val != 0 {
+		fmt.Fprintf(&b, " val=%d", a.Val)
+	}
+	if a.Class != "" {
+		fmt.Fprintf(&b, " class=%s", a.Class)
+	}
+	return b.String()
+}
+
+// trackKey identifies one named track within one session.
+type trackKey struct {
+	sess, track int32
+}
+
+// Tracer records the event stream. All recording methods are nil-safe:
+// calling them on a nil *Tracer returns immediately, so instrumented
+// code pays one branch when tracing is off (measured by
+// BenchmarkNilTracer). The simulator is cooperatively scheduled — one
+// task runs at a time — so the tracer needs (and, per the determinism
+// rules, may have) no locks.
+type Tracer struct {
+	clock      func() vtime.Time
+	events     []Event
+	ring       *Ring
+	sess       int32
+	sessNames  map[int32]string
+	trackNames map[trackKey]string
+}
+
+// DefaultRingSize is the flight-recorder depth used by New.
+const DefaultRingSize = 64
+
+// New creates a Tracer reading virtual time from clock (typically
+// Scheduler.Now of the session being traced).
+func New(clock func() vtime.Time) *Tracer {
+	return &Tracer{
+		clock:      clock,
+		ring:       NewRing(DefaultRingSize),
+		sessNames:  map[int32]string{},
+		trackNames: map[trackKey]string{},
+	}
+}
+
+// SetClock swaps the virtual-time source; sessions built after the
+// first one re-point the tracer at their own scheduler.
+func (t *Tracer) SetClock(clock func() vtime.Time) {
+	if t == nil {
+		return
+	}
+	t.clock = clock
+}
+
+// BeginSession starts a new Chrome process group (pid) and returns its
+// id. Experiments build many sessions; giving each its own group keeps
+// their rank tracks from interleaving in Perfetto.
+func (t *Tracer) BeginSession(name string) int32 {
+	if t == nil {
+		return 0
+	}
+	t.sess++
+	t.sessNames[t.sess] = name
+	return t.sess
+}
+
+// SetTrackName names a track (Chrome tid) of the current session, e.g.
+// "rank3" or "net:bb".
+func (t *Tracer) SetTrackName(track int, name string) {
+	if t == nil {
+		return
+	}
+	t.trackNames[trackKey{t.sess, int32(track)}] = name
+}
+
+func (t *Tracer) now() vtime.Time {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+func (t *Tracer) record(ev Event) {
+	ev.Sess = t.sess
+	t.events = append(t.events, ev)
+	t.ring.Push(ev)
+}
+
+// Instant records a point event at the current virtual time.
+func (t *Tracer) Instant(track int, kind Kind, name string, a Args) {
+	if t == nil {
+		return
+	}
+	t.record(Event{TS: t.now(), Kind: kind, Name: name, Track: int32(track), Args: a})
+}
+
+// Span records a completed interval from start to the current virtual
+// time. Call sites capture start inside their own `if tracer != nil`
+// guard, so the disabled path never reads the clock.
+func (t *Tracer) Span(track int, kind Kind, name string, start vtime.Time, a Args) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.record(Event{TS: start, Dur: now.Sub(start), Kind: kind, Name: name, Track: int32(track), Args: a})
+}
+
+// Counter records a counter sample (Chrome "C" event, rendered as a
+// stacked area chart in Perfetto), e.g. a relay queue depth.
+func (t *Tracer) Counter(track int, kind Kind, name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{TS: t.now(), Kind: kind, Name: name, Track: int32(track), Counter: true, Args: Args{Val: v}})
+}
+
+// Events returns the full recorded stream in record order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Tail renders the last n flight-recorder events, oldest first. It is
+// what deadlock and audit errors embed.
+func (t *Tracer) Tail(n int) []string {
+	if t == nil {
+		return nil
+	}
+	evs := t.ring.Tail(n)
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.String()
+	}
+	return out
+}

@@ -66,6 +66,59 @@ func TestDeadlockDetectorStructuredDump(t *testing.T) {
 	}
 }
 
+// TestDeadlockIncludesFlightTail: when an OnDeadlock hook is installed
+// (the cluster layer wires it to the trace flight recorder), its lines
+// land both in the structured error and in the rendered report — the
+// last events before the hang travel with the failure.
+func TestDeadlockIncludesFlightTail(t *testing.T) {
+	s := New()
+	s.OnDeadlock = func() []string {
+		return []string{
+			"1200.000us s1/t0  rndv   rndv.req src=0 dst=8 bytes=65536",
+			"1207.500us s1/t8  credit relay.wait",
+		}
+	}
+	ev := NewEvent(s, "never")
+	s.Go("main", func() { ev.Wait() })
+
+	err := s.Run()
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DeadlockError, got %v", err)
+	}
+	if len(de.FlightTail) != 2 {
+		t.Fatalf("FlightTail = %v, want the 2 hook lines", de.FlightTail)
+	}
+	for _, want := range []string{
+		"last 2 trace events before the hang",
+		"rndv.req src=0 dst=8",
+		"credit relay.wait",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, err.Error())
+		}
+	}
+}
+
+// TestDeadlockWithoutRecorderStaysClean: no hook, no flight-tail
+// section — the classic dump is unchanged.
+func TestDeadlockWithoutRecorderStaysClean(t *testing.T) {
+	s := New()
+	ev := NewEvent(s, "never")
+	s.Go("main", func() { ev.Wait() })
+	err := s.Run()
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DeadlockError, got %v", err)
+	}
+	if de.FlightTail != nil {
+		t.Fatalf("FlightTail = %v, want nil", de.FlightTail)
+	}
+	if strings.Contains(err.Error(), "trace events before the hang") {
+		t.Fatalf("unexpected flight-tail section:\n%s", err.Error())
+	}
+}
+
 // TestDeadlockDumpIncludesDaemons: daemons never keep the simulation
 // alive, but when a deadlock fires they appear in the dump — a polling
 // thread's wait reason is usually the loudest clue.

@@ -126,6 +126,13 @@ type Scheduler struct {
 	deadline Time
 	started  bool
 	stopped  bool
+
+	// OnDeadlock, when set, supplies extra context lines for deadlock
+	// reports — the cluster layer points it at the trace flight
+	// recorder's tail so the last events before the hang travel with
+	// the error. It runs only when a deadlock is being built and must
+	// not touch the scheduler.
+	OnDeadlock func() []string
 }
 
 // New creates an empty scheduler with the clock at 0 and no deadline.
@@ -274,6 +281,10 @@ type TaskState struct {
 type DeadlockError struct {
 	Now   Time
 	Tasks []TaskState
+	// FlightTail holds the scheduler's OnDeadlock context lines —
+	// typically the trace flight recorder's last events before the
+	// hang. Empty when no recorder is attached.
+	FlightTail []string
 }
 
 // Error renders the classic diagnosable dump: one line per task with its
@@ -287,6 +298,12 @@ func (e *DeadlockError) Error() string {
 			fmt.Fprintf(&b, " on %s", ts.BlockedOn)
 		}
 		b.WriteByte('\n')
+	}
+	if len(e.FlightTail) > 0 {
+		fmt.Fprintf(&b, "  last %d trace events before the hang:\n", len(e.FlightTail))
+		for _, line := range e.FlightTail {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
 	}
 	return b.String()
 }
@@ -307,6 +324,9 @@ func (s *Scheduler) deadlockError() *DeadlockError {
 			ts.BlockedOn = t.blockedOn
 		}
 		e.Tasks = append(e.Tasks, ts)
+	}
+	if s.OnDeadlock != nil {
+		e.FlightTail = s.OnDeadlock()
 	}
 	return e
 }
