@@ -229,12 +229,13 @@ func BenchmarkForwarding(b *testing.B) {
 // plus extension X5 (the multi-gateway bridged topology: routed
 // collectives, gateway-aware leaders, pipelined relay), its variant
 // (the bridged triangle: two-rail striping, adaptive re-routing, bounded
-// gateway queues) and extension X6 (the per-link device mux vs the
-// uniform single-protocol transport on the mixed SCI+BIP+TCP cluster),
-// and records the sweeps to BENCH_collectives.json for the regression
-// gate.
+// gateway queues), extension X6 (the per-link device mux vs the
+// uniform single-protocol transport on the mixed SCI+BIP+TCP cluster)
+// and extension X9 (multi-leader rail-striped collectives vs the
+// single-leader two-level baseline on the bridged triangle), and records
+// the sweeps to BENCH_collectives.json for the regression gate.
 func BenchmarkHierCollectives(b *testing.B) {
-	var res, gw, ad, hm *experiments.Result
+	var res, gw, ad, hm, ml *experiments.Result
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.HierCollectives()
 		if err != nil {
@@ -256,10 +257,16 @@ func BenchmarkHierCollectives(b *testing.B) {
 			b.Fatal(err)
 		}
 		hm = h
+		m, err := experiments.MultiLeader()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ml = m
 	}
 	all := append(append([]*stats.Series{}, res.Series...), gw.Series...)
 	all = append(all, ad.Series...)
 	all = append(all, hm.Series...)
+	all = append(all, ml.Series...)
 	for _, s := range all {
 		if p, ok := s.At(8); ok {
 			b.ReportMetric(p.LatencyUS(), "vus8B:"+sanitize(s.Name))
@@ -268,7 +275,7 @@ func BenchmarkHierCollectives(b *testing.B) {
 			b.ReportMetric(p.LatencyUS(), "vus64K:"+sanitize(s.Name))
 		}
 	}
-	writeCollectivesJSON(b, res, gw, ad, hm)
+	writeCollectivesJSON(b, res, gw, ad, hm, ml)
 }
 
 // writeCollectivesJSON records the X4 and X5 sweeps next to the benchmark
@@ -290,7 +297,7 @@ func writeCollectivesJSON(b *testing.B, results ...*experiments.Result) {
 		Series     []series `json:"series"`
 	}{
 		Experiment: "X4 hierarchical collectives + X5 multi-gateway routing + X5 variant adaptive multi-path relay" +
-			" + X6 per-link device mux",
+			" + X6 per-link device mux + X9 multi-leader rail-striped collectives",
 		Topology: "X4: 2 SCI islands x 4 single-proc nodes, interleaved ranks, TCP backbone" +
 			" (_cap series: backbone trunk capped at the TCP rate via netsim.Params.NetworkBandwidth);" +
 			" *_gw series (X5): bridged 3-cluster topology, 2 TCP bridges, no common network" +
@@ -300,7 +307,10 @@ func writeCollectivesJSON(b *testing.B, results ...*experiments.Result) {
 			" loaded bridge (AdaptQ_*/RelayQPeakMax point values are relay queue depths, not microseconds);" +
 			" Mux_*/Uniform_* series (X6): 2 dual-proc SCI nodes + 2 dual-proc BIP nodes on a shared TCP" +
 			" backbone — per-link device mux (chself/smp/SAN/TCP classes, per-class autotuned switch" +
-			" points) vs the uniform single-protocol ch_mad configuration (Topology.Uniform)",
+			" points) vs the uniform single-protocol ch_mad configuration (Topology.Uniform);" +
+			" ML_* series (X9): bridged triangle, autotuned sessions — ML_*_multi lets the tuner pick the" +
+			" multi-leader 2level-multi algorithms (one co-leader per distinct gateway, shards striped" +
+			" across every bridge), ML_*_single forces the single-leader two-level baseline (CollHier)",
 	}
 	for _, res := range results {
 		for _, s := range res.Series {

@@ -7,7 +7,9 @@
 // or if the multi-path transport loses its striping/adaptive wins on the
 // bridged triangle, or any gateway queue exceeds its credit window, or
 // the per-link device mux stops beating the uniform single-protocol
-// transport on the mixed SCI+BIP+TCP cluster.
+// transport on the mixed SCI+BIP+TCP cluster, or the multi-leader
+// rail-striped collectives lose their 1.5x aggregate-bandwidth win over
+// the single-leader two-level forms at 1 MiB on the bridged triangle.
 //
 // Every failure prints the expected relation, the actual values and the
 // margin by which the rule missed, so a regression can be triaged from
@@ -326,6 +328,11 @@ func main() {
 			"the per-link device mux must beat the uniform single-protocol transport on Bcast at every size"},
 		{"Mux_Allreduce", "Uniform_Allreduce", 8, 0,
 			"the per-link device mux must beat the uniform single-protocol transport on Allreduce at every size"},
+		// X9: multi-leader rail-striped collectives on the bridged triangle.
+		{"ML_Bcast_multi", "ML_Bcast_single", 1 << 20, 1.5,
+			"the autotuner-selected multi-leader Bcast must be >= 1.5x faster than the forced single-leader two-level form at 1 MiB"},
+		{"ML_Alltoall_multi", "ML_Alltoall_single", 1 << 20, 1.5,
+			"the autotuner-selected multi-leader Alltoall must be >= 1.5x faster than the forced single-leader two-level form at 1 MiB"},
 	}
 	caps := []capRule{
 		{"RelayQPeakMax", "RelayQWindow",

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids: table1, fig6a, fig6b, fig7a, fig7b, fig8a, fig8b, fig9a, fig9b, table2, ablation-switch, ablation-split, forwarding, hcoll, gateway, adaptive, heteromux, scale, or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids: table1, fig6a, fig6b, fig7a, fig7b, fig8a, fig8b, fig9a, fig9b, table2, ablation-switch, ablation-split, forwarding, hcoll, gateway, adaptive, heteromux, multileader, scale, or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV for plotting instead of aligned tables")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable, virtual-time µs) of every session the selected experiments run")
 	flag.Parse()

@@ -468,6 +468,21 @@ func (sess *Session) buildChMad(places []placementInfo, nodeNets map[string][]st
 		}
 		sess.Ranks = append(sess.Ranks, w.rank)
 	}
+
+	// Size the gateway relay credit windows from each backbone's
+	// bandwidth-delay product instead of the static DefaultRelayWindow —
+	// but only when the session opted into tuning (Autotune) and did not
+	// pin RelayWindow explicitly. SetRelayWindows pushes the hints into
+	// every ch_mad device (which adopts the largest window among the
+	// backbones it fronts) and records them as "RelayWindow" rows of the
+	// tune snapshot, so a TuneCache round-trip restores identical windows.
+	if sess.Topo.Autotune && sess.Topo.RelayWindow == 0 && sess.Topo.Forwarding {
+		if windows := sess.bdpRelayWindows(hier); len(windows) > 0 {
+			for _, rk := range sess.Ranks {
+				rk.MPI.SetRelayWindows(windows)
+			}
+		}
+	}
 	return nil
 }
 
@@ -635,6 +650,16 @@ func (sess *Session) railsFor(plan *route.Plan, r, dst int) []core.Route {
 			SwitchBytes:    plan.PathSwitchOf(hops),
 			Class:          plan.PathClassOf(hops).String(),
 		})
+	}
+	// Direct rails carry no relay segment (PathSegmentOf is 0 for one
+	// hop), but once a pair has alternates its bodies stripe, and the
+	// stripe deal needs every rail's pacing segment.
+	if len(rails) > 1 {
+		for i := range rails {
+			if rails[i].SegBytes == 0 {
+				rails[i].SegBytes = plan.StripeSegmentOf(paths[i])
+			}
+		}
 	}
 	return rails
 }

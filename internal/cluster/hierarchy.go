@@ -9,6 +9,7 @@ package cluster
 // hierarchy's inter-cluster link.
 
 import (
+	"math"
 	"sort"
 	"strings"
 
@@ -80,6 +81,7 @@ func (sess *Session) discoverHierarchy(maxSegment int) *mpi.Hierarchy {
 		}
 	}
 	sess.electLeaders(h)
+	sess.electLeaderSets(h)
 	sess.routedInter(h, maxSegment)
 	sess.hier = h
 	return h
@@ -155,6 +157,122 @@ func (sess *Session) electLeaders(h *mpi.Hierarchy) {
 		leaders[c] = best
 	}
 	h.Leaders = leaders
+}
+
+// electLeaderSets widens each cluster's elected leader into a
+// gateway-diverse leader *set*: one co-leader per distinct cluster-
+// spanning network the cluster touches, so the multi-leader collectives
+// can shard the inter-cluster phase across every gateway concurrently.
+// The primary leader anchors position 0; each remaining spanning network
+// (sorted by name for determinism) elects the attached member with the
+// fewest total gateway hops to the outside, scored per routing bloc
+// exactly as electLeaders does. Clusters behind a single gateway — or
+// none — get a one-element set, which keeps the multi-leader algorithms
+// off the autotuner's candidate list there.
+func (sess *Session) electLeaderSets(h *mpi.Hierarchy) {
+	if h.Leaders == nil {
+		return
+	}
+	nc := len(h.ClusterNames)
+	members := make([][]int, nc)
+	for r, c := range h.ClusterOf {
+		members[c] = append(members[c], r)
+	}
+	names := make([]string, 0, len(sess.Networks))
+	for name := range sess.Networks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var spanning []string
+	for _, name := range names {
+		if sess.spansClusters(name, h) {
+			spanning = append(spanning, name)
+		}
+	}
+	if len(spanning) == 0 {
+		return
+	}
+	attached := func(r int, net string) bool {
+		for _, n := range sess.netsOfNode[sess.places[r].node] {
+			if n == net {
+				return true
+			}
+		}
+		return false
+	}
+	byBloc := !sess.plan.Congested()
+	sets := make([][]int, nc)
+	gws := make([][]string, nc)
+	for c, ms := range members {
+		primary := h.Leaders[c]
+		set, gw := []int{primary}, []string{""}
+		for _, net := range spanning {
+			if attached(primary, net) {
+				gw[0] = net // the primary's own gateway (first by name)
+				break
+			}
+		}
+		for _, net := range spanning {
+			if net == gw[0] {
+				continue // the primary already fronts this gateway
+			}
+			best, bestHops, bestCost := -1, 0, 0.0
+			var scored map[int]bool
+			if byBloc {
+				scored = make(map[int]bool, 4)
+			}
+			for _, r := range ms {
+				if !attached(r, net) {
+					continue
+				}
+				if byBloc {
+					b := sess.plan.BlocOf(r)
+					if scored[b] {
+						continue
+					}
+					scored[b] = true
+				}
+				hops, cost, reach := 0, 0.0, true
+				for s, sc := range h.ClusterOf {
+					if sc == c {
+						continue
+					}
+					hp := sess.plan.Hops(r, s)
+					if hp < 0 {
+						reach = false
+						break
+					}
+					pc, _ := sess.plan.Cost(r, s)
+					hops += hp
+					cost += pc
+				}
+				if !reach {
+					continue
+				}
+				if best < 0 || hops < bestHops ||
+					(hops == bestHops && cost < bestCost) {
+					best, bestHops, bestCost = r, hops, cost
+				}
+			}
+			if best < 0 {
+				continue // no member of this cluster fronts net
+			}
+			dup := false
+			for _, x := range set {
+				if x == best {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			set = append(set, best)
+			gw = append(gw, net)
+		}
+		sets[c], gws[c] = set, gw
+	}
+	h.LeaderSets, h.LeaderGateways = sets, gws
 }
 
 // routedInter recalibrates the backbone link when leader-level exchanges
@@ -244,6 +362,52 @@ func (sess *Session) spansClusters(netName string, h *mpi.Hierarchy) bool {
 		}
 	}
 	return false
+}
+
+// Bounds on the BDP-derived relay credit window: deep enough that even a
+// near-zero-latency backbone keeps a couple of segments in flight, and
+// shallow enough that a hot gateway still backpressures its senders
+// instead of buffering a whole collective.
+const (
+	minBDPWindow = 4
+	maxBDPWindow = 64
+)
+
+// bdpRelayWindows sizes each backbone's relay credit window from its
+// bandwidth-delay product: the segments a gateway must hold in flight to
+// cover one round trip at full rate (BDP / pipeline segment), plus two
+// segments of slack for the store-and-forward handoff, clamped to
+// [minBDPWindow, maxBDPWindow]. Purely analytic — netsim parameters, no
+// measurement — so the result is deterministic and cheap enough to
+// recompute at every Build; the rows a cached tune table carries merely
+// restore the same values.
+func (sess *Session) bdpRelayWindows(h *mpi.Hierarchy) map[string]int {
+	names := make([]string, 0, len(sess.Networks))
+	for name := range sess.Networks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	windows := make(map[string]int)
+	for _, name := range names {
+		if !sess.spansClusters(name, h) {
+			continue
+		}
+		p := sess.Networks[name].Params
+		seg := p.PipelineSegment()
+		if seg <= 0 || p.Bandwidth <= 0 {
+			continue
+		}
+		rtt := 2 * (p.WireLatency + p.SendOverhead + p.RecvOverhead + p.DeviceHandling)
+		w := int(math.Ceil(p.Bandwidth*rtt.Seconds()/float64(seg))) + 2
+		if w < minBDPWindow {
+			w = minBDPWindow
+		}
+		if w > maxBDPWindow {
+			w = maxBDPWindow
+		}
+		windows[name] = w
+	}
+	return windows
 }
 
 // linkFor summarizes one network as a tuning-table link. maxSegment > 0

@@ -99,6 +99,75 @@ func TestGoldenTraceTwoClusterBcast(t *testing.T) {
 	}
 }
 
+// runTracedMultiBcast runs a 256K Bcast with the multi-leader two-level
+// schedule forced on the bridged ring-of-three (every island fronts two
+// gateways, so each cluster's leader set has two members and the payload
+// is sharded across both bridges), with a tracer installed.
+func runTracedMultiBcast(t *testing.T) *trace.Tracer {
+	t.Helper()
+	tr := trace.New(nil)
+	topo := ringClusterTopo([]int{3, 3, 3})
+	topo.Trace = tr
+	sess, err := Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rk := range sess.Ranks {
+		rk.MPI.SetCollMode(mpi.CollHierMulti)
+	}
+	const payload = 256 << 10
+	err = sess.Run(func(rank int, comm *mpi.Comm) error {
+		buf := make([]byte, payload)
+		if rank == 0 {
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+		}
+		return comm.Bcast(buf, payload, mpi.Byte, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestGoldenTraceMultiLeaderBcast extends the golden-trace pin to the
+// multi-leader schedules: two runs are byte-identical, the schedule
+// rounds carry the co-leader and gateway tags the multi-leader compilers
+// attach, and the stream names more than one gateway — the shards
+// visibly travel through distinct bridges instead of one funnel.
+func TestGoldenTraceMultiLeaderBcast(t *testing.T) {
+	s1 := renderEvents(runTracedMultiBcast(t))
+	s2 := renderEvents(runTracedMultiBcast(t))
+	if s1 != s2 {
+		a, b := strings.Split(s1, "\n"), strings.Split(s2, "\n")
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for i := 0; i < n; i++ {
+			if a[i] != b[i] {
+				t.Fatalf("event %d diverged across runs:\n  run1: %s\n  run2: %s", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("event streams differ in length: %d vs %d lines", len(a), len(b))
+	}
+	for _, want := range []string{"sched.", "leader=", "gw="} {
+		if !strings.Contains(s1, want) {
+			t.Errorf("event stream missing %q", want)
+		}
+	}
+	gws := map[string]bool{}
+	for _, line := range strings.Split(s1, "\n") {
+		if i := strings.Index(line, "gw="); i >= 0 {
+			gws[strings.Fields(line[i:])[0]] = true
+		}
+	}
+	if len(gws) < 2 {
+		t.Errorf("multi-leader Bcast trace names %d gateway(s), want >= 2: %v", len(gws), gws)
+	}
+}
+
 // TestChromeExportTracks: the Perfetto export names one track per rank
 // plus the per-network and session-control tracks, and is valid JSON.
 func TestChromeExportTracks(t *testing.T) {

@@ -190,6 +190,9 @@ type Device struct {
 	relayParking   int        // polling threads parked (or about to park) for a credit
 	relayCredits   *vtime.Sem // nil when RelayWindow == 0
 	relayHighSince int        // queue-depth high-water since TakeRelayHigh
+	// relayWindowHinted marks RelayWindow as tuner-installed
+	// (SetRelayWindowHint); later hints only ever widen it.
+	relayWindowHinted bool
 }
 
 // rndvState is the receiver-side rendez-vous bookkeeping: the paper's
@@ -433,6 +436,41 @@ func (d *Device) SetClassSwitchPoint(class string, bytes int) {
 		return
 	}
 	d.classSwitch[class] = bytes
+}
+
+// SetRelayWindowHint implements adi.RelayTuner: adopt a measured
+// bandwidth-delay-product credit window for the store-and-forward queue
+// when this device fronts the named network. A gateway bridging several
+// tuned backbones keeps the largest window offered — throttling the fat
+// pipe to the thin one's product would only idle the fat pipe. After
+// Start the semaphore is rebuilt at the new capacity, but only while the
+// relay queue is idle (credits all home); mid-traffic hints keep the old
+// window rather than strand or mint credits.
+func (d *Device) SetRelayWindowHint(net string, window int) {
+	if window <= 0 || window == d.RelayWindow {
+		return
+	}
+	attached := false
+	for _, ch := range d.channels {
+		if ch.Net.Name == net {
+			attached = true
+			break
+		}
+	}
+	if !attached {
+		return
+	}
+	if d.relayWindowHinted && window < d.RelayWindow {
+		return
+	}
+	d.relayWindowHinted = true
+	d.RelayWindow = window
+	if d.relayCredits != nil {
+		if d.relayInFlight > 0 || d.relayParking > 0 {
+			return
+		}
+		d.relayCredits = vtime.NewSem(d.proc.S, fmt.Sprintf("ch_mad[%d].relay", d.rank), window)
+	}
 }
 
 // ClassSwitchPoints returns the installed per-class threshold overrides
@@ -798,13 +836,38 @@ func (d *Device) inSendOK(ch *madeleine.Channel, conn *madeleine.Connection, h h
 		})
 	}
 	rt, _ := d.RouteTo(sr.Dst)
-	if d.RelayPipelining && rt.Hops > 1 && rt.SegBytes > 0 && len(sr.Data) > rt.SegBytes {
-		if rails := d.Rails(sr.Dst); d.RelayStriping && len(rails) > 1 {
-			d.sendRndvStriped(sr, rails, h.SyncID)
+	if d.RelayPipelining {
+		// Striping is gated on the rail set, not on the hop count alone:
+		// a direct *backbone* pair with edge-disjoint alternates
+		// (co-leader bundle exchanges over parallel bridges) stripes
+		// exactly like the multi-hop p2p path, instead of funneling the
+		// whole body down the primary rail — its threshold comes from the
+		// rails' own stripe segments, because a direct primary has no
+		// relay segment. Direct SAN/SMP pairs do NOT stripe even with
+		// alternates: their "alternate" is a detour over the same shared
+		// intra-cluster medium, so dealing segments onto it only adds
+		// relay hops. Single-rail direct pairs keep the whole-body
+		// rendez-vous; single-rail multi-hop routes keep the segmented
+		// pipeline.
+		if rails := d.Rails(sr.Dst); d.RelayStriping && len(rails) > 1 &&
+			(rt.Hops > 1 || rt.Class == "wan") {
+			thr := rt.SegBytes
+			if thr == 0 {
+				for _, r := range rails {
+					if r.SegBytes > 0 && (thr == 0 || r.SegBytes < thr) {
+						thr = r.SegBytes
+					}
+				}
+			}
+			if thr > 0 && len(sr.Data) > thr {
+				d.sendRndvStriped(sr, rails, h.SyncID)
+				return
+			}
+		}
+		if rt.SegBytes > 0 && len(sr.Data) > rt.SegBytes && rt.Hops > 1 {
+			d.sendRndvSegmented(sr, rt, h.SyncID)
 			return
 		}
-		d.sendRndvSegmented(sr, rt, h.SyncID)
-		return
 	}
 	data := header{
 		Type:    PktRndv,
@@ -913,7 +976,10 @@ func (d *Device) sendRndvStriped(sr *adi.SendReq, rails []Route, sync uint32) {
 		}
 	}
 	if seg == 0 {
-		seg = rails[0].SegBytes
+		// No rail carries a pacing segment (shouldn't happen — the rail
+		// installer backfills stripe segments): ship the whole body as a
+		// single stripe rather than divide by zero below.
+		seg = len(sr.Data)
 	}
 	// Per-rail pacing (the bottleneck hop's cost per segment) and fixed
 	// pipeline fill (the rest of the path): the deal below hands each
@@ -1316,7 +1382,7 @@ func (d *Device) forward(ch *madeleine.Channel, conn *madeleine.Connection, h he
 			d.Trace.Span(d.TraceTrack, trace.KRelay, "relay.hop", t0, trace.Args{
 				HasPeer: true, Src: int32(h.SrcRank), Dst: int32(h.DstRank),
 				Bytes: int64(len(body)), Rail: int16(h.PathID), Hop: int16(arrivedBudget),
-				Seq: h.SyncID,
+				Seq: h.SyncID, GW: rt.Channel.Name,
 			})
 			if bodyLen > 0 {
 				d.Trace.Counter(d.TraceTrack, trace.KRelay, "relay.depth", int64(d.RelayQueueDepth()))

@@ -633,6 +633,7 @@ func All() ([]*Result, error) {
 		GatewayCollectives,
 		AdaptiveMultipath,
 		HeteroMux,
+		MultiLeader,
 		Scale,
 	}
 	for _, g := range gens {
@@ -682,6 +683,8 @@ func ByID(id string) (*Result, error) {
 		return AdaptiveMultipath()
 	case "heteromux":
 		return HeteroMux()
+	case "multileader":
+		return MultiLeader()
 	case "scale":
 		return Scale()
 	}

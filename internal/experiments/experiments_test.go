@@ -247,7 +247,8 @@ func TestAllRegeneratesEveryArtifact(t *testing.T) {
 	wantIDs := []string{
 		"table1", "fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b",
 		"fig9a", "fig9b", "table2", "ablation-switch", "ablation-split",
-		"forwarding", "hcoll", "gateway", "adaptive", "heteromux", "scale",
+		"forwarding", "hcoll", "gateway", "adaptive", "heteromux",
+		"multileader", "scale",
 	}
 	if len(results) != len(wantIDs) {
 		t.Fatalf("All produced %d artifacts, want %d", len(results), len(wantIDs))

@@ -1,0 +1,157 @@
+package experiments
+
+// The multi-leader collectives experiment (id "multileader"): bandwidth
+// aggregation across every gateway of the bridged triangle. Each island
+// fronts two bridges, so leader-set election widens every cluster's
+// leader into a two-member, gateway-diverse set and the 2level-multi
+// algorithms shard the inter-cluster phase across both — where the
+// single-leader two-level form funnels the whole payload through one
+// gateway and leaves the other bridge idle.
+//
+//   - ML_Bcast_multi / ML_Alltoall_multi: the session autotunes at init
+//     (Autotune: true) and the measured run dispatches through the
+//     resulting table (CollAuto) — the multi-leader schedules must be
+//     *selected*, not forced, for the large-payload brackets.
+//   - ML_Bcast_single / ML_Alltoall_single: the same autotuned sessions
+//     with the single-leader two-level form forced (CollHier), the
+//     baseline the paper's §4.3 two-level collectives correspond to.
+//
+// The acceptance bar (cmd/benchcheck): multi >= 1.5x on time at 1 MiB
+// for both operations.
+
+import (
+	"fmt"
+	"strings"
+
+	"mpichmad/internal/cluster"
+	"mpichmad/internal/mpi"
+	"mpichmad/internal/stats"
+	"mpichmad/internal/vtime"
+)
+
+// multiLeaderRun measures one collective's per-operation time on an
+// autotuned bridged-triangle session with the given selection mode, plus
+// each bridge network's wire bytes over the measured window — the
+// crossing-split diagnostic.
+func multiLeaderRun(mode mpi.CollMode, iters, size int,
+	op func(comm *mpi.Comm, size int) error) (vtime.Duration, map[string]uint64, error) {
+	topo := triangleTopo()
+	topo.Autotune = true
+	sess, err := cluster.Build(topo)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, rk := range sess.Ranks {
+		rk.MPI.SetCollMode(mode)
+	}
+	bridgeBytes := func() map[string]uint64 {
+		out := make(map[string]uint64)
+		for name, net := range sess.Networks {
+			if net.Params.Protocol == "tcp" {
+				out[name] = net.Stats.Bytes
+			}
+		}
+		return out
+	}
+	var perOp vtime.Duration
+	var before, after map[string]uint64
+	err = sess.Run(func(rank int, comm *mpi.Comm) error {
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		if rank == 0 {
+			before = bridgeBytes()
+		}
+		start := sess.S.Now()
+		for i := 0; i < iters; i++ {
+			if err := op(comm, size); err != nil {
+				return err
+			}
+		}
+		if rank == 0 {
+			perOp = sess.S.Now().Sub(start) / vtime.Duration(iters)
+		}
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		if rank == 0 {
+			after = bridgeBytes()
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	crossed := make(map[string]uint64, len(after))
+	for name, b := range after {
+		crossed[name] = (b - before[name]) / uint64(iters)
+	}
+	return perOp, crossed, nil
+}
+
+// MultiLeader (X9) benchmarks the multi-leader collectives on the
+// bridged triangle: autotuner-selected multi-leader Bcast and Alltoall
+// against the forced single-leader two-level forms, with a per-bridge
+// crossing table at the largest payload showing the inter-cluster phase
+// engaging every gateway.
+func MultiLeader() (*Result, error) {
+	sizes := []int{4 << 10, 64 << 10, 256 << 10, 1 << 20}
+	bcast := func(comm *mpi.Comm, size int) error {
+		buf := make([]byte, size)
+		return comm.Bcast(buf, size, mpi.Byte, 0)
+	}
+	alltoall := func(comm *mpi.Comm, size int) error {
+		block := size / comm.Size()
+		if block < 1 {
+			block = 1
+		}
+		send := make([]byte, block*comm.Size())
+		recv := make([]byte, block*comm.Size())
+		return comm.Alltoall(send, recv, block, mpi.Byte)
+	}
+	benches := []struct {
+		name string
+		mode mpi.CollMode
+		op   func(comm *mpi.Comm, size int) error
+	}{
+		{"ML_Bcast_multi", mpi.CollAuto, bcast},
+		{"ML_Bcast_single", mpi.CollHier, bcast},
+		{"ML_Alltoall_multi", mpi.CollAuto, alltoall},
+		{"ML_Alltoall_single", mpi.CollHier, alltoall},
+	}
+	const iters = 3
+	var series []*stats.Series
+	crossings := make(map[string]map[string]uint64)
+	for _, bm := range benches {
+		s := &stats.Series{Name: bm.name}
+		for _, size := range sizes {
+			perOp, crossed, err := multiLeaderRun(bm.mode, iters, size, bm.op)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%d: %w", bm.name, size, err)
+			}
+			s.Add(size, perOp)
+			if size == sizes[len(sizes)-1] {
+				crossings[bm.name] = crossed
+			}
+		}
+		series = append(series, s)
+	}
+	res := render("multileader",
+		"Extension X9: multi-leader collectives on the bridged triangle (autotuned vs forced single-leader)",
+		'a', series)
+
+	// Per-bridge crossing table at the largest payload: the multi-leader
+	// rows must spread bytes over all three bridges, the single-leader
+	// rows concentrate them.
+	bridges := []string{"gwAB", "gwBC", "gwCA"}
+	var b strings.Builder
+	b.WriteString(res.Text)
+	fmt.Fprintf(&b, "\nBridge bytes per operation at %s:\n", stats.SizeLabel(sizes[len(sizes)-1]))
+	fmt.Fprintf(&b, "%-22s %12s %12s %12s\n", "series", bridges[0], bridges[1], bridges[2])
+	for _, bm := range benches {
+		c := crossings[bm.name]
+		fmt.Fprintf(&b, "%-22s %12d %12d %12d\n", bm.name, c[bridges[0]], c[bridges[1]], c[bridges[2]])
+	}
+	res.Text = b.String()
+	return res, nil
+}

@@ -133,6 +133,50 @@
 //     the gateway can hold it. Drops (lossy-eager ablation, routing
 //     holes) are counted by reason in stats.RelayTable.
 //
+// # Bandwidth aggregation: multi-leader collectives
+//
+// A single elected leader per cluster serializes the entire inter-cluster
+// phase of a two-level collective through one gateway, leaving every
+// other bridge the cluster fronts idle. The multi-leader forms
+// (hmulti.go, CollHierMulti, tuning-table name "2level-multi") remove
+// that funnel:
+//
+//   - Leader sets: cluster election widens each cluster's leader into a
+//     set with one member per distinct gateway network the cluster
+//     fronts (Hierarchy.LeaderSets, primary leader first, gateway labels
+//     in Hierarchy.LeaderGateways). On the bridged triangle every island
+//     borders two bridges, so every set has two gateway-diverse members.
+//   - Sharding: the payload (or reduction vector, or bundle matrix) is
+//     split into one shard per co-leader. Each shard's inter-cluster
+//     journey is planned along its own gateway — for every cluster pair
+//     the compiler picks the emissary co-leaders that share a bridge, so
+//     a shard crosses each backbone gap in a single relayless hop. Bcast
+//     pipelines eager-sized segments down per-shard gateway chains;
+//     Allreduce/Allgather reduce-scatter across co-leaders and exchange
+//     per-shard; Alltoall stripes each cluster-pair bundle across the
+//     pair's distinct relay couples and ships the stripes in one duplex
+//     segmented round.
+//   - Redistribute rounds: intra-cluster fan-in/fan-out to and from the
+//     co-leaders frames the backbone phase. The schedules keep every
+//     pure-sink receive out of the pipelined rounds (deferred to
+//     trailing bulk rounds) so no bridge ever waits a round trip for a
+//     rank that is busy forwarding — the send order on every directed
+//     pair equals the receiver's posted order, which is what makes the
+//     one-tag FIFO matching safe.
+//   - Rail hints: co-leader bundle exchanges inherit the multi-path
+//     rails, so a direct pair with two installed rails stripes its
+//     rendez-vous bundles exactly like a forwarded pair would.
+//
+// The aggregate effect on the bridged triangle at 1 MiB: Bcast engages
+// all three bridges at half the bytes each (2x over the single-leader
+// form), and Alltoall balances the three bridges exactly where the
+// funneled form tripled the load on the leader's bridge (1.6x). The
+// autotuner treats "2level-multi" as one more candidate — it wins the
+// large-payload brackets on multi-gateway topologies and loses the
+// latency brackets to the segmented single-leader form, and the
+// crossover is measured, not assumed (the multileader experiment and the
+// ML_* benchcheck rules gate the selected-not-forced speedups).
+//
 // # The per-link device mux
 //
 // A session's links are not interchangeable: the paper's headline

@@ -167,6 +167,8 @@ func (c *Comm) Ibcast(buf []byte, count int, dt Datatype, root int) (*CollReques
 			return c.compileBcastHier(buf, count, dt, root, 0)
 		case algoHierSegmented:
 			return c.compileBcastHier(buf, count, dt, root, c.segmentBytes())
+		case algoHierMulti:
+			return c.compileBcastHierMulti(buf, count, dt, root)
 		default: // algoFlat, and any choice without a bcast compiler
 			return c.compileBcastFlat(buf, count, dt, root)
 		}
@@ -208,6 +210,8 @@ func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op
 			return c.compileAllreduceRing(sendBuf, recvBuf, count, dt, op)
 		case algoRingHier:
 			return c.compileAllreduceRingHier(sendBuf, recvBuf, count, dt, op)
+		case algoHierMulti:
+			return c.compileAllreduceHierMulti(sendBuf, recvBuf, count, dt, op)
 		default: // algoFlat, and segmented choices sanitizeAlgo never emits here
 			return c.compileAllreduceFlat(sendBuf, recvBuf, count, dt, op)
 		}
@@ -262,10 +266,14 @@ func (c *Comm) Iallgather(sendBuf, recvBuf []byte, count int, dt Datatype) (*Col
 		return nil, err
 	}
 	return c.startColl("Iallgather", false, noRoot, func() *schedule {
-		if c.chooseAlgo(kindAllgather, count*dt.Size()) != algoFlat {
+		switch c.chooseAlgo(kindAllgather, count*dt.Size()) {
+		case algoHierMulti:
+			return c.compileAllgatherHierMulti(sendBuf, recvBuf, count, dt)
+		case algoFlat:
+			return c.compileAllgatherFlat(sendBuf, recvBuf, count, dt)
+		default: // every other hierarchical choice
 			return c.compileAllgatherHier(sendBuf, recvBuf, count, dt)
 		}
-		return c.compileAllgatherFlat(sendBuf, recvBuf, count, dt)
 	})
 }
 
@@ -290,6 +298,8 @@ func (c *Comm) Ialltoall(sendBuf, recvBuf []byte, count int, dt Datatype) (*Coll
 			return c.compileAlltoallHier(sendBuf, recvBuf, count, dt)
 		case algoHier:
 			return c.compileAlltoallHier(sendBuf, recvBuf, count, dt)
+		case algoHierMulti:
+			return c.compileAlltoallHierMulti(sendBuf, recvBuf, count, dt)
 		default: // algoFlat, and any choice without an alltoall compiler
 			return c.compileAlltoallFlat(sendBuf, recvBuf, count, dt)
 		}

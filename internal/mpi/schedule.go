@@ -54,8 +54,14 @@ type step struct {
 }
 
 // round is a set of steps whose transfers may be in flight concurrently.
+// Multi-leader compilers annotate rounds with the shard lane they ride:
+// leader1 is 1 + the co-leader (shard) index — zero means untagged — and
+// gw names the gateway network that lane crosses, so trace spans show the
+// parallel gateway lanes side by side.
 type round struct {
-	steps []step
+	steps   []step
+	leader1 int16
+	gw      string
 }
 
 // schedule is a compiled collective operation.
@@ -100,6 +106,13 @@ func (b *schedBuilder) reduce(dst, src []byte, count int, dt Datatype, op Op) {
 
 func (b *schedBuilder) copyStep(dst, src []byte) {
 	b.cur.steps = append(b.cur.steps, step{kind: stepCopy, dst: dst, src: src})
+}
+
+// tagRound marks the open round with the co-leader (shard) index and the
+// gateway network its transfers ride (multi-leader trace annotation).
+func (b *schedBuilder) tagRound(leaderIdx int, gw string) {
+	b.cur.leader1 = int16(leaderIdx + 1)
+	b.cur.gw = gw
 }
 
 // build seals the schedule with its completion closure.
@@ -222,6 +235,7 @@ func (c *Comm) execRounds(sch *schedule, tag int, tr *trace.Tracer) error {
 			tr.Span(c.p.traceTrack, trace.KSched, "sched.round", rd0, trace.Args{
 				Seq: uint32(tag), Val: int64(ri),
 				Bytes: roundBytes(rd), Class: roundPeers(c, rd),
+				Leader: rd.leader1, GW: rd.gw,
 			})
 		}
 	}

@@ -64,6 +64,18 @@ type Hierarchy struct {
 	// lowest comm rank of the cluster otherwise; nil keeps the
 	// lowest-rank convention everywhere.
 	Leaders []int
+	// LeaderSets, when non-nil, lists each cluster's gateway-diverse
+	// leader set in world ranks: one co-leader per distinct cluster-
+	// spanning network the cluster touches, primary leader first. The
+	// multi-leader collectives shard the inter-cluster phase across the
+	// set so each co-leader ships its shard over its own gateway
+	// concurrently. Clusters behind a single gateway (or none) carry a
+	// one-element set; nil keeps every algorithm on the primary leader.
+	LeaderSets [][]int
+	// LeaderGateways names, parallel to LeaderSets, the spanning network
+	// each co-leader fronts ("" when the co-leader is the primary leader
+	// without a gateway of its own) — trace annotations and reports.
+	LeaderGateways [][]string
 }
 
 // NumClusters returns the number of clusters in the hierarchy.
@@ -115,6 +127,12 @@ const (
 	// communicators; operations without a ring form use the two-level
 	// trees.
 	CollHierRing
+	// CollHierMulti forces the multi-leader two-level algorithms: the
+	// inter-cluster phase is sharded across each cluster's leader set so
+	// every gateway carries a slice of the payload concurrently.
+	// Operations without a multi-leader form — or communicators whose
+	// leader sets all collapse to one rank — use the two-level trees.
+	CollHierMulti
 )
 
 // SetCollMode overrides collective algorithm selection for this rank.
@@ -132,6 +150,42 @@ type commTopo struct {
 	clusters  [][]int // dense cluster index -> comm ranks, ascending
 	leaders   []int   // dense cluster index -> lowest comm rank
 	myCluster int
+	// leaderSets maps each dense cluster to its in-communicator leader
+	// set (comm ranks, primary leader first); always at least the
+	// one-element [leaders[di]]. leaderGW names the gateway network each
+	// co-leader fronts, parallel to leaderSets ("" when unknown).
+	leaderSets [][]int
+	leaderGW   [][]string
+}
+
+// maxLeaderSet is the widest leader set any cluster of the communicator
+// carries — the shard count K of the multi-leader algorithms.
+func (ct *commTopo) maxLeaderSet() int {
+	k := 1
+	for _, ls := range ct.leaderSets {
+		if len(ls) > k {
+			k = len(ls)
+		}
+	}
+	return k
+}
+
+// coLeader returns shard k's co-leader in dense cluster di: leader sets
+// narrower than the shard count wrap, so a single-gateway cluster funnels
+// every shard through its one leader while wider clusters spread them.
+func (ct *commTopo) coLeader(di, k int) int {
+	ls := ct.leaderSets[di]
+	return ls[k%len(ls)]
+}
+
+// coLeaderGW names the gateway network behind shard k's co-leader in
+// dense cluster di (trace annotation; "" when unknown).
+func (ct *commTopo) coLeaderGW(di, k int) string {
+	gw := ct.leaderGW[di]
+	if len(gw) == 0 {
+		return ""
+	}
+	return gw[k%len(gw)]
 }
 
 // topo returns the communicator's cached dense hierarchy view, or nil when
@@ -178,6 +232,44 @@ func (c *Comm) topo() *commTopo {
 			}
 		}
 	}
+	// Leader sets: the elected gateway-diverse co-leaders of each cluster,
+	// restricted to this communicator. The primary comm leader always
+	// anchors position 0 so single-leader and multi-leader forms agree on
+	// who fronts the cluster; co-leaders outside the communicator (or
+	// outside the cluster after a Split) simply drop out, possibly
+	// collapsing the set to one rank.
+	ct.leaderSets = make([][]int, len(ct.clusters))
+	ct.leaderGW = make([][]string, len(ct.clusters))
+	for di := range ct.clusters {
+		ct.leaderSets[di] = []int{ct.leaders[di]}
+		ct.leaderGW[di] = []string{""}
+	}
+	if h.LeaderSets != nil {
+		for di, wc := range denseWorld {
+			if wc >= len(h.LeaderSets) {
+				continue
+			}
+			for i, w := range h.LeaderSets[wc] {
+				cr := c.commRankOfWorld(w)
+				if cr < 0 || ct.clusterOf[cr] != di || cr == ct.leaders[di] {
+					continue
+				}
+				gw := ""
+				if wc < len(h.LeaderGateways) && i < len(h.LeaderGateways[wc]) {
+					gw = h.LeaderGateways[wc][i]
+				}
+				ct.leaderSets[di] = append(ct.leaderSets[di], cr)
+				ct.leaderGW[di] = append(ct.leaderGW[di], gw)
+			}
+			// Tag the anchor slot with the elected primary's gateway when
+			// they are the same rank.
+			if len(h.LeaderSets[wc]) > 0 && len(h.LeaderGateways) > wc && len(h.LeaderGateways[wc]) > 0 {
+				if cr := c.commRankOfWorld(h.LeaderSets[wc][0]); cr == ct.leaders[di] {
+					ct.leaderGW[di][0] = h.LeaderGateways[wc][0]
+				}
+			}
+		}
+	}
 	ct.nClusters = len(ct.clusters)
 	ct.myCluster = ct.clusterOf[c.myRank]
 	c.ct = ct
@@ -193,6 +285,7 @@ const (
 	algoHierSegmented // two-level with pipelined segments (Bcast only)
 	algoRing          // flat bandwidth-optimal ring (Allreduce, ReduceScatter)
 	algoRingHier      // two-level: intra-cluster rings around the leader exchange
+	algoHierMulti     // two-level with the leader phase sharded across the leader set
 )
 
 // algoNames maps tuning-table rows to stable names for snapshots/reports.
@@ -202,6 +295,7 @@ var algoNames = map[collAlgo]string{
 	algoHierSegmented: "2level-seg",
 	algoRing:          "ring",
 	algoRingHier:      "2level-ring",
+	algoHierMulti:     "2level-multi",
 }
 
 // collKind indexes the tuning table by operation.
@@ -234,6 +328,12 @@ var kindNames = map[collKind]string{
 // defaultSegmentBytes bounds the pipelined-broadcast segment when the
 // hierarchy carries no backbone estimate.
 const defaultSegmentBytes = 8 << 10
+
+// multiLeaderMinBytes is the analytic fallback's payload floor for the
+// multi-leader algorithms: below it the extra intra-cluster shard
+// scatter/redistribute rounds cost more than the aggregated backbone
+// bandwidth saves. The autotuner measures the real crossover.
+const multiLeaderMinBytes = 128 << 10
 
 // segmentBytes returns the pipeline segment for hierarchical broadcast:
 // the backbone's recommended segment, clamped so segments stay on the
@@ -280,6 +380,17 @@ func (c *Comm) sanitizeAlgo(kind collKind, a collAlgo) collAlgo {
 	if a == algoHierSegmented && kind != kindBcast && kind != kindAlltoall {
 		a = algoHier
 	}
+	// Multi-leader needs an operation with a sharded compiler AND a
+	// communicator where at least one cluster actually has several
+	// gateways to spread across; otherwise it is exactly the two-level
+	// tree with extra staging, so degrade to algoHier.
+	if a == algoHierMulti {
+		ok := kind == kindBcast || kind == kindAllreduce ||
+			kind == kindAllgather || kind == kindAlltoall
+		if !ok || !multi || ct.maxLeaderSet() < 2 {
+			a = algoHier
+		}
+	}
 	if a == algoRingHier {
 		switch {
 		case !ringKind(kind) && multi:
@@ -301,7 +412,7 @@ func (c *Comm) sanitizeAlgo(kind collKind, a collAlgo) collAlgo {
 	// hierarchy-aware form and CollFlat the topology-blind one.
 	if kind == kindReduceScatter {
 		switch a {
-		case algoHier, algoHierSegmented:
+		case algoHier, algoHierSegmented, algoHierMulti:
 			a = algoRingHier
 		case algoFlat:
 			a = algoRing
@@ -343,6 +454,8 @@ func (c *Comm) chooseAlgo(kind collKind, nBytes int) collAlgo {
 		return c.sanitizeAlgo(kind, algoRing)
 	case CollHierRing:
 		return c.sanitizeAlgo(kind, algoRingHier)
+	case CollHierMulti:
+		return c.sanitizeAlgo(kind, algoHierMulti)
 	case CollAuto:
 		// Fall past the switch: measured table, then analytic thresholds.
 	}
@@ -370,12 +483,25 @@ func (c *Comm) analyticAlgo(kind collKind, nBytes int) collAlgo {
 	// crossing queues — concurrency can no longer hide flat algorithms'
 	// O(n) crossings.
 	capped := c.cappedBackbone()
+	// multiGW: some cluster fronts several gateways, so sharding the
+	// leader phase across the leader set aggregates backbone bandwidth.
+	// Only worth the extra intra-cluster scatter/redistribute staging for
+	// payloads large enough to be backbone-bandwidth-bound.
+	multiGW := ct.maxLeaderSet() >= 2
 	switch kind {
-	case kindBarrier, kindReduce, kindAllgather:
+	case kindBarrier, kindReduce:
 		// Leader aggregation always reduces slow-link crossings; the
 		// extra intra-cluster hop is cheap by construction.
 		return algoHier
+	case kindAllgather:
+		if multiGW && nBytes*c.Size() >= multiLeaderMinBytes {
+			return algoHierMulti
+		}
+		return algoHier
 	case kindAllreduce:
+		if multiGW && nBytes >= multiLeaderMinBytes {
+			return algoHierMulti
+		}
 		if nBytes >= 64<<10 {
 			// Large vectors: intra-cluster ring phases around the same
 			// single leader exchange.
@@ -385,6 +511,9 @@ func (c *Comm) analyticAlgo(kind collKind, nBytes int) collAlgo {
 	case kindReduceScatter:
 		return algoRingHier
 	case kindBcast:
+		if multiGW && nBytes >= multiLeaderMinBytes {
+			return algoHierMulti
+		}
 		if c.bcastSegment(nBytes) > 0 {
 			// Large: pipeline segments through the two-level tree so the
 			// slow backbone transfer overlaps the fast intra-cluster fan-out.
@@ -411,6 +540,12 @@ func (c *Comm) analyticAlgo(kind collKind, nBytes int) collAlgo {
 		// regime a little (queued crossings amplify the 32-vs-2 message
 		// count); the Autotune sweep measures the real crossover on the
 		// live topology either way.
+		if multiGW && nBytes >= multiLeaderMinBytes {
+			// Sharded bundles: the backbone bytes are irreducible, but
+			// splitting each leader-pair bundle across G gateways divides
+			// the serialization floor the flat rotation sits on.
+			return algoHierMulti
+		}
 		limit := 2 << 10
 		if capped {
 			limit = 4 << 10

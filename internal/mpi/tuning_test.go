@@ -158,6 +158,45 @@ func TestValidateTuneChoicesRejectsBadSwitchRows(t *testing.T) {
 	}
 }
 
+// TestRelayWindowTuneRoundTrip: RelayWindow rows survive the persistence
+// path — LoadTuneTable installs them as per-backbone relay windows and
+// TuneSnapshot exports them back byte-identically, in network-name order.
+func TestRelayWindowTuneRoundTrip(t *testing.T) {
+	table := []mpi.TuneChoice{
+		{Op: "RelayWindow", MaxBytes: 12, Algo: "gw01"},
+		{Op: "RelayWindow", MaxBytes: 24, Algo: "wan"},
+	}
+	p := mpi.NewProcess(nil, nil, 0, 1, nil, nil)
+	if err := p.LoadTuneTable(table); err != nil {
+		t.Fatal(err)
+	}
+	got := p.RelayWindows()
+	if got["gw01"] != 12 || got["wan"] != 24 || len(got) != 2 {
+		t.Fatalf("RelayWindows = %v, want gw01=12 wan=24", got)
+	}
+	snap := p.TuneSnapshot()
+	if !reflect.DeepEqual(snap, table) {
+		t.Fatalf("TuneSnapshot = %v, want the loaded table %v", snap, table)
+	}
+	p2 := mpi.NewProcess(nil, nil, 0, 1, nil, nil)
+	if err := p2.LoadTuneTable(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p2.RelayWindows(), got) {
+		t.Fatalf("reloaded windows %v differ from %v", p2.RelayWindows(), got)
+	}
+	bad := [][]mpi.TuneChoice{
+		{{Op: "RelayWindow", MaxBytes: 0, Algo: "wan"}},
+		{{Op: "RelayWindow", MaxBytes: -3, Algo: "wan"}},
+		{{Op: "RelayWindow", MaxBytes: 8, Algo: ""}},
+	}
+	for _, tbl := range bad {
+		if err := mpi.ValidateTuneChoices(tbl); err == nil {
+			t.Errorf("ValidateTuneChoices(%v) = nil, want error", tbl)
+		}
+	}
+}
+
 // TestAutotunedCollectivesStayCorrect: collectives dispatched through the
 // measured table (CollAuto after Autotune) still compute correct results
 // on a contended-backbone topology — the table changes selection, never

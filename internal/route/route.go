@@ -529,6 +529,14 @@ func (p *Plan) PathSegmentOf(hops []Hop) int {
 	if len(hops) < 2 {
 		return 0
 	}
+	return p.StripeSegmentOf(hops)
+}
+
+// StripeSegmentOf is the stripe segment for a path of a multi-rail set:
+// the smallest PipelineSegment along it, even for a direct single-hop
+// rail — a direct pair with edge-disjoint alternates stripes its bodies
+// just like a relayed one, so its rails need a segment too.
+func (p *Plan) StripeSegmentOf(hops []Hop) int {
 	seg := 0
 	for _, h := range hops {
 		params := p.nets[h.Net]

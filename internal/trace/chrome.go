@@ -105,6 +105,12 @@ func chromeEvent(ev Event) string {
 	if a.Class != "" {
 		arg(`"class":%s`, strconv.Quote(a.Class))
 	}
+	if a.Leader > 0 {
+		arg(`"leader":%d`, a.Leader-1)
+	}
+	if a.GW != "" {
+		arg(`"gw":%s`, strconv.Quote(a.GW))
+	}
 	b.WriteString("}}")
 	return b.String()
 }

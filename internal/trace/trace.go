@@ -73,6 +73,8 @@ type Args struct {
 	Seq      uint32
 	Val      int64
 	Class    string // device class ("self"/"smp"/"san"/"wan") or peer label
+	Leader   int16  // 1 + co-leader (shard) index on multi-leader rounds; 0 = none
+	GW       string // gateway network a multi-leader lane rides (sched rounds, relay hops)
 }
 
 // Event is one recorded trace event. Spans are recorded at completion
@@ -118,6 +120,12 @@ func (e Event) String() string {
 	}
 	if a.Class != "" {
 		fmt.Fprintf(&b, " class=%s", a.Class)
+	}
+	if a.Leader > 0 {
+		fmt.Fprintf(&b, " leader=%d", a.Leader-1)
+	}
+	if a.GW != "" {
+		fmt.Fprintf(&b, " gw=%s", a.GW)
 	}
 	return b.String()
 }
